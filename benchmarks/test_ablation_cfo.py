@@ -1,0 +1,47 @@
+"""Ablation: UE oscillator error with and without CP-based correction.
+
+A 0.5 ppm crystal at 680 MHz (340 Hz CFO) rotates the constellation by a
+full turn every ~3 ms; the CP estimator recovers the offset to a few Hz
+and the end-to-end link does not notice.
+"""
+
+import numpy as np
+
+from repro.lte import LteTransmitter
+from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
+from repro.lte.receiver import LteReceiver
+from benchmarks.conftest import run_once
+
+
+def _sweep(seed=0):
+    capture = LteTransmitter(1.4, rng=seed).transmit(1)
+    fs = capture.params.sample_rate_hz
+    rows = []
+    for cfo_hz in (0.0, 340.0, 3000.0, 6000.0):
+        impaired = apply_cfo(capture.samples, cfo_hz, fs)
+        rx = LteReceiver(capture.params, capture.cell)
+        raw = rx.decode(impaired).block_error_rate
+        estimated = estimate_cfo(impaired, capture.params)
+        corrected = rx.decode(
+            correct_cfo(impaired, estimated, fs)
+        ).block_error_rate
+        rows.append((cfo_hz, estimated, raw, corrected))
+    return rows
+
+
+def test_cfo_ablation(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\n# cfo(Hz)  estimated  BLER(uncorrected)  BLER(corrected)")
+    for cfo, est, raw, corrected in rows:
+        print(f"#  {cfo:6.0f}  {est:8.1f}  {raw:16.2f}  {corrected:14.2f}")
+    by_cfo = {r[0]: r for r in rows}
+    # Estimates land within a few Hz.
+    for cfo, est, _, _ in rows:
+        assert abs(est - cfo) < 20.0
+    # Crystal-scale offsets (<~1 kHz) are absorbed by the CRS time
+    # interpolation; subcarrier-scale offsets destroy the uncorrected
+    # decode, and the CP estimator restores it.
+    assert by_cfo[340.0][2] == 0.0
+    assert by_cfo[3000.0][2] > 0.5
+    assert by_cfo[3000.0][3] == 0.0
+    assert by_cfo[6000.0][3] == 0.0

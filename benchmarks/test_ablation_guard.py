@@ -1,0 +1,43 @@
+"""Ablation: the 38.8 % guard vs tag sync error (paper §3.2.3).
+
+Chips are centred in the useful symbol with (FFT - chips)/2 samples of
+slack either side.  Sync errors inside the slack are absorbed by the
+preamble search; once the error pushes chips into the CP/next symbol the
+link degrades — which is exactly why the paper needs only *coarse* sync.
+"""
+
+import numpy as np
+
+from repro.core import LScatterSystem, SystemConfig
+from benchmarks.conftest import run_once
+
+
+def _ber_vs_sync_error(seed=3):
+    guard = (128 - 72) // 2  # 28 samples at 1.4 MHz
+    rows = []
+    for error in (0, 10, 20, 28, 40, 56):
+        config = SystemConfig(
+            bandwidth_mhz=1.4,
+            n_frames=2,
+            enb_to_tag_ft=3.0,
+            tag_to_ue_ft=3.0,
+            reference_mode="genie",
+            sync_error_samples=error,
+        )
+        report = LScatterSystem(config, rng=seed).run(payload_length=50_000)
+        rows.append((error, report.ber))
+    return guard, rows
+
+
+def test_guard_ablation(benchmark):
+    guard, rows = run_once(benchmark, _ber_vs_sync_error)
+    print(f"\n# guard = {guard} samples; sync_error -> BER:")
+    for error, ber in rows:
+        print(f"#   {error:3d} samples: {ber:.4f}")
+    by_error = dict(rows)
+    # Inside the guard: clean.
+    assert by_error[0] < 1e-3
+    assert by_error[20] < 1e-2
+    # Far beyond the guard: the link collapses.
+    assert by_error[56] > 10 * max(by_error[0], 1e-5)
+    assert by_error[56] > 0.05

@@ -1,0 +1,32 @@
+"""Ablation: multi-level harmonic cancellation on vs off (paper §3.2.2).
+
+The square-wave switch sprays (2/pi m)^2 of the power onto each odd
+harmonic m; the multi-level quantisation the paper adopts (from LoRa
+backscatter / OFDMA-WiFi-backscatter) nulls the 3rd and 5th, cutting
+out-of-band leakage by an order of magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tag.modulator import ChipModulator, square_wave_harmonics
+
+
+def test_harmonics_ablation(benchmark):
+    def measure():
+        plain = ChipModulator(multi_level=False)
+        cancelled = ChipModulator(multi_level=True)
+        return plain.out_of_band_leakage(), cancelled.out_of_band_leakage()
+
+    plain, cancelled = benchmark(measure)
+    print(
+        f"\n# out-of-band leakage: square wave {plain:.4f}, "
+        f"multi-level {cancelled:.4f} ({plain / cancelled:.1f}x reduction)"
+    )
+    # The 3rd harmonic alone carries (2/3pi)^2 ~ 4.5% of the power.
+    orders, amplitudes = square_wave_harmonics(9, multi_level=False)
+    assert (amplitudes[2] / 2) ** 2 == pytest.approx((2 / (3 * np.pi)) ** 2)
+    # Cancellation buys at least 5x less out-of-band power.
+    assert plain > 5 * cancelled
+    # Even harmonics never existed.
+    assert amplitudes[1] == amplitudes[3] == 0.0

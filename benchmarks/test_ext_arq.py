@@ -1,0 +1,70 @@
+"""Extension bench: reliable delivery (ARQ) over the LScatter bit pipe.
+
+Compares stop-and-wait, selective-repeat, and selective-repeat over a
+Hamming(7,4)-coded pipe.  The punchline: at chip BERs around 1e-3, frame
+losses dominate and FEC+ARQ together deliver ~2x the goodput of ARQ
+alone despite the 4/7 code rate.
+"""
+
+import numpy as np
+
+from repro.channel.link import LinkBudget
+from repro.core.link_budget import LScatterLinkModel
+from repro.link import BitErrorChannel, SelectiveRepeatArq, StopAndWaitArq
+from repro.tag.coding import hamming74_coded_ber
+from repro.utils.rng import make_rng
+from benchmarks.conftest import run_once
+
+
+def _sweep():
+    model = LScatterLinkModel(20.0, LinkBudget(venue="shopping_mall"))
+    payload = make_rng(0).integers(0, 2, size=100_000).astype(np.int8)
+    rows = []
+    for d, mtu in ((40, 1024), (120, 512), (180, 128)):
+        # The sender shrinks its MTU as the link degrades — at 2 % BER a
+        # kilobit frame essentially never survives.
+        ber = model.ber(5, d)
+        rate = model.predict(5, d).throughput_bps
+        _, sw = StopAndWaitArq(mtu_bits=mtu, max_retries=2000).deliver(
+            payload, BitErrorChannel(ber, rng=d)
+        )
+        _, sr = SelectiveRepeatArq(mtu_bits=mtu, window=32, max_rounds=5000).deliver(
+            payload, BitErrorChannel(ber, rng=d)
+        )
+        # FEC under the ARQ: the pipe's residual BER after Hamming(7,4),
+        # paid for with the 4/7 code rate.
+        coded_ber = float(hamming74_coded_ber(ber))
+        _, fec = SelectiveRepeatArq(mtu_bits=mtu, window=32, max_rounds=5000).deliver(
+            payload, BitErrorChannel(coded_ber, rng=d)
+        )
+        rows.append(
+            (
+                d,
+                ber,
+                sw.efficiency * rate,
+                sr.efficiency * rate,
+                fec.efficiency * rate * 4 / 7,
+                sw.rounds,
+                sr.rounds,
+            )
+        )
+    return rows
+
+
+def test_arq_goodput(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\n# d(ft)  BER       S&W Mbps  SR Mbps  FEC+SR Mbps  S&W rounds  SR rounds")
+    for d, ber, sw, sr, fec, sw_rounds, sr_rounds in rows:
+        print(
+            f"#  {d:4d}  {ber:.1e}  {sw/1e6:7.2f}  {sr/1e6:6.2f}  {fec/1e6:9.2f}"
+            f"   {sw_rounds:8d}  {sr_rounds:8d}"
+        )
+    by_d = {r[0]: r for r in rows}
+    # FEC + ARQ beats plain ARQ at every distance...
+    for d, _, sw, sr, fec, _, _ in rows:
+        assert fec > sr
+    # ...and holds Mbps-class reliable goodput at 40 ft.
+    assert by_d[40][4] > 6e6
+    # Selective repeat needs far fewer rounds (latency) than stop-and-wait.
+    for _, _, _, _, _, sw_rounds, sr_rounds in rows:
+        assert sr_rounds < sw_rounds / 3

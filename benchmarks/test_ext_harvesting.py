@@ -1,0 +1,25 @@
+"""Extension bench: RF harvesting from the continuous LTE carrier."""
+
+from repro.extensions import HarvesterModel
+from benchmarks.conftest import run_once
+
+
+def test_harvesting(benchmark):
+    def sweep():
+        model = HarvesterModel()
+        return {d: model.report(d) for d in (1, 2, 3, 5, 10, 20)}
+
+    reports = run_once(benchmark, sweep)
+    print("\n# d(ft)  incident dBm  harvested uW  duty cycle")
+    for d, r in reports.items():
+        print(
+            f"#  {d:4d}  {r.incident_dbm:10.1f}  {r.harvested_w*1e6:10.2f}  "
+            f"{r.duty_cycle:8.3f}"
+        )
+    # Battery-free operation within arm's reach of the excitation source.
+    assert reports[1].self_sustaining
+    assert reports[2].self_sustaining
+    # Duty cycle decays monotonically with distance.
+    duties = [reports[d].duty_cycle for d in (1, 2, 3, 5, 10, 20)]
+    assert all(b <= a for a, b in zip(duties, duties[1:]))
+    assert duties[-1] < 0.01

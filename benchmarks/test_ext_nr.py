@@ -1,0 +1,35 @@
+"""Extension bench: LScatter on 5G NR (paper §6).
+
+Measures chip-backscatter throughput on the NR presets and checks the
+scaling the paper predicts: same technique, faster symbols, more chips.
+"""
+
+from repro.core.link_budget import LScatterLinkModel
+from repro.nr import nr_backscatter_trial
+from benchmarks.conftest import run_once
+
+
+def test_nr_backscatter(benchmark):
+    def sweep():
+        return {
+            preset: nr_backscatter_trial(
+                preset, payload_length=500_000, snr_db=35, seed=0
+            )
+            for preset in ("nr10_mu0", "nr20_mu1", "nr40_mu1")
+        }
+
+    results = run_once(benchmark, sweep)
+    print("\n# preset      BER        throughput")
+    for preset, result in results.items():
+        print(
+            f"#  {preset:9s} {result.ber:.2e}  {result.throughput_bps/1e6:6.2f} Mbps"
+        )
+    # All presets demodulate cleanly.
+    assert all(r.ber < 2e-3 for r in results.values())
+    # mu=1 at 20 MHz outruns 20 MHz LTE; 40 MHz roughly doubles again.
+    lte_rate = LScatterLinkModel(20.0).raw_bit_rate_bps
+    assert results["nr20_mu1"].throughput_bps > lte_rate
+    assert (
+        results["nr40_mu1"].throughput_bps
+        > 1.8 * results["nr20_mu1"].throughput_bps
+    )

@@ -1,0 +1,15 @@
+"""Fig. 4c: week-long traffic-occupancy CDFs."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig04(benchmark, show_result):
+    result = benchmark(run_experiment, "fig04")
+    show_result(result, max_rows=8)
+    rows = {r["curve"]: r for r in result.rows}
+    # LTE is always occupied; LoRa nearly never; office WiFi < 0.5 for
+    # ~80 % of the week (the paper's exact reading of the figure).
+    assert rows["lte-home"]["median"] == 1.0
+    assert rows["lora-home"]["median"] < 0.05
+    assert rows["wifi-office"]["cdf@0.50"] > 0.75
+    assert rows["wifi-office"]["cdf@0.70"] > 0.9

@@ -1,0 +1,19 @@
+"""Fig. 8: sync-circuit stage outputs over 20 ms of ambient LTE."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from benchmarks.conftest import run_once
+
+
+def test_fig08(benchmark, show_result):
+    result = run_once(benchmark, run_experiment, "fig08")
+    show_result(result, max_rows=5)
+    # The comparator goes high ~4 times in 20 ms (one per PSS cycle).
+    comparator = np.array([r["pss_determination"] for r in result.rows])
+    rises = np.sum(np.diff(comparator) > 0)
+    assert 3 <= rises <= 5
+    # The RC envelope rides above the slow average at those instants.
+    env = np.array([r["rc_filter"] for r in result.rows])
+    avg = np.array([r["signal_average"] for r in result.rows])
+    assert env[comparator == 1].mean() > avg[comparator == 1].mean()

@@ -1,0 +1,12 @@
+"""Fig. 12: constellation rotation by the phase offset and its removal."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig12(benchmark, show_result):
+    result = benchmark(run_experiment, "fig12")
+    show_result(result)
+    rows = {r["constellation"]: r for r in result.rows}
+    assert rows["phase-offset"]["mean_rotation_deg"] == 35.0
+    assert abs(rows["eliminated"]["mean_rotation_deg"]) < 2.0
+    assert rows["eliminated"]["decision_errors"] == 0

@@ -1,0 +1,23 @@
+"""Fig. 18: IQ-level throughput across every LTE bandwidth, LoS vs NLoS."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from benchmarks.conftest import run_once
+
+
+def test_fig18(benchmark, show_result):
+    result = run_once(benchmark, run_experiment, "fig18", n_frames=1)
+    show_result(result)
+    rows = {r["bandwidth_mhz"]: r for r in result.rows}
+    # Paper headline: 13.63 Mbps at 20 MHz, ~800 kbps at 1.4 MHz.
+    assert rows[20.0]["los_throughput_mbps"] == pytest.approx(13.9, rel=0.05)
+    assert rows[1.4]["los_throughput_mbps"] == pytest.approx(0.835, rel=0.05)
+    # Proportional to bandwidth (subcarrier count).
+    assert rows[20.0]["los_throughput_mbps"] / rows[5.0][
+        "los_throughput_mbps"
+    ] == pytest.approx(4.0, rel=0.02)
+    # NLoS costs less than 10 % (paper §4.3.2).
+    for row in result.rows:
+        assert row["nlos_drop_fraction"] < 0.10

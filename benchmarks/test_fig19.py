@@ -1,0 +1,15 @@
+"""Fig. 19: throughput matrix over the two distances."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig19(benchmark, show_result):
+    result = benchmark(run_experiment, "fig19")
+    show_result(result)
+    rows = {r["enb_to_tag_ft"]: r for r in result.rows}
+    # Within 15 ft of the eNodeB the link delivers 4-13 Mbps everywhere.
+    for d1 in (1, 5, 10, 15):
+        for d2 in (1, 5, 10, 15, 20, 25):
+            assert 4.0 <= rows[d1][f"ue@{d2}ft_mbps"] <= 14.0
+    # Beyond that it drops quickly (availability collapse).
+    assert rows[25]["ue@25ft_mbps"] < 0.5 * rows[15]["ue@25ft_mbps"]

@@ -1,0 +1,28 @@
+"""Figs 21/22: shopping mall, 10 am - 9 pm."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from benchmarks.conftest import run_once
+
+
+def test_fig21(benchmark, show_result):
+    result = run_once(benchmark, run_experiment, "fig21")
+    show_result(result, max_rows=12)
+    hours = [r["hour"] for r in result.rows]
+    assert hours == list(range(10, 22))
+    lscatter = np.array([r["lscatter_mbps_median"] for r in result.rows])
+    wifi = np.array([r["wifi_bs_kbps_median"] for r in result.rows])
+    # Flat LScatter boxes; WiFi peaks around 8 pm with median ~55 kbps.
+    assert np.ptp(lscatter) / lscatter.mean() < 0.02
+    evening = wifi[hours.index(20)]
+    assert evening == wifi.max() or evening > 0.85 * wifi.max()
+    assert 30 < evening < 90
+
+
+def test_fig22(benchmark, show_result):
+    result = run_once(benchmark, run_experiment, "fig22")
+    show_result(result, max_rows=12)
+    assert all(r["lte_occupancy"] == 1.0 for r in result.rows)
+    by_hour = {r["hour"]: r["wifi_occupancy"] for r in result.rows}
+    assert 0.35 < by_hour[20] < 0.6  # ~0.5 at 8 pm in the paper

@@ -1,0 +1,27 @@
+"""Figs 23/24: mall distance sweeps for the three backscatter arms."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig23(benchmark, show_result):
+    result = benchmark(run_experiment, "fig23")
+    show_result(result)
+    first, last = result.rows[0], result.rows[-1]
+    # LScatter wins everywhere by ~2 orders of magnitude (paper note).
+    for row in result.rows:
+        assert row["lscatter_mbps"] > 50 * row["wifi_backscatter_mbps"]
+        assert row["lscatter_mbps"] > 100 * row["symbol_lte_mbps"]
+    # WiFi backscatter beats symbol-level LTE near, loses far (crossover).
+    assert first["wifi_backscatter_mbps"] > first["symbol_lte_mbps"]
+    assert last["symbol_lte_mbps"] > last["wifi_backscatter_mbps"]
+
+
+def test_fig24(benchmark, show_result):
+    result = benchmark(run_experiment, "fig24")
+    show_result(result)
+    by_d = {r["distance_ft"]: r for r in result.rows}
+    # Paper: LScatter BER <0.1% within 40 ft, <1% within ~150 ft.
+    assert by_d[40]["lscatter_ber"] < 2e-3
+    assert by_d[140]["lscatter_ber"] < 2e-2
+    # WiFi backscatter's BER blows past the LTE arms at range.
+    assert by_d[180]["wifi_backscatter_ber"] > by_d[180]["symbol_lte_ber"]

@@ -1,0 +1,18 @@
+"""Fig. 30: 40 dBm range matrix."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig30(benchmark, show_result):
+    result = benchmark(run_experiment, "fig30")
+    show_result(result)
+    ranges = [r["max_tag_to_ue_ft"] for r in result.rows]
+    # Monotone decreasing in eNodeB-to-tag distance.
+    assert all(b < a for a, b in zip(ranges, ranges[1:]))
+    # Calibrated anchors: 320 ft at 2 ft, ~160 ft at 24 ft.
+    assert result.rows[0]["max_tag_to_ue_ft"] == pytest.approx(320, rel=0.25)
+    assert result.rows[3]["max_tag_to_ue_ft"] == pytest.approx(160, rel=0.25)
+    # The 40 dBm excitation keeps the sync circuit alive at every d1.
+    assert all(r["sync_availability"] > 0.99 for r in result.rows)

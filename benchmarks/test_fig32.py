@@ -1,0 +1,17 @@
+"""Fig. 32: impact of backscatter on the original LTE transmission."""
+
+from repro.experiments import run_experiment
+from benchmarks.conftest import run_once
+
+
+def test_fig32(benchmark, show_result):
+    result = run_once(
+        benchmark, run_experiment, "fig32", n_captures=2, bandwidths=(1.4, 5.0)
+    )
+    show_result(result)
+    for row in result.rows:
+        # Negligible impact (paper: the curves coincide).
+        assert abs(row["impact_fraction"]) < 0.02
+        assert row["lte_mbps_with"] > 0
+    # Throughput scales with bandwidth.
+    assert result.rows[1]["lte_mbps_without"] > 3 * result.rows[0]["lte_mbps_without"]

@@ -1,0 +1,15 @@
+"""Fig. 33b: continuous-authentication update rate vs distance."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig33(benchmark, show_result):
+    result = benchmark(run_experiment, "fig33")
+    show_result(result)
+    rates = [r["update_rate_sps"] for r in result.rows]
+    # Paper anchors: 136 sps at 2 ft, 5 sps at 40 ft.
+    assert rates[0] == pytest.approx(136, rel=0.1)
+    assert rates[-1] == pytest.approx(5, abs=8)
+    assert all(b < a for a, b in zip(rates, rates[1:]))

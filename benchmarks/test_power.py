@@ -1,0 +1,19 @@
+"""§4.8: tag power-consumption table."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_power(benchmark, show_result):
+    result = benchmark(run_experiment, "power")
+    show_result(result)
+    by_bw = {r["bandwidth_mhz"]: r for r in result.rows}
+    # Datasheet anchors the paper cites.
+    assert by_bw[1.4]["sync_uw"] == pytest.approx(10.0)
+    assert by_bw[20.0]["rf_front_uw"] == pytest.approx(57.0)
+    assert by_bw[20.0]["baseband_uw"] == pytest.approx(82.0)
+    assert by_bw[1.4]["clock_uw"] == pytest.approx(588.0)
+    assert by_bw[20.0]["clock_uw"] == pytest.approx(4500.0)
+    # Ring-oscillator clocks keep the whole tag in the ~100-200 uW class.
+    assert by_bw[20.0]["total_ring_osc_uw"] < 200.0

@@ -1,0 +1,14 @@
+"""Table 1: excitation-signal feature matrix."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, show_result):
+    result = benchmark(run_experiment, "table1")
+    show_result(result)
+    winners = [
+        r["system"]
+        for r in result.rows
+        if r["ambient"] and r["continuous"] and r["ubiquitous"]
+    ]
+    assert winners == ["LScatter"]

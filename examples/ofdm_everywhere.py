@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The §6 genericity claim: LScatter chips on WiFi and 5G NR carriers.
+
+Applies the basic-timing-unit modulation to an 802.11g packet and to NR
+carriers at two numerologies, comparing throughput and showing why the
+continuous LTE/NR carriers still win over bursty WiFi.
+
+Run:  python examples/ofdm_everywhere.py
+"""
+
+import numpy as np
+
+from repro.core.link_budget import LScatterLinkModel
+from repro.extensions import OfdmChipReceiver, OfdmChipTag, wifi_layout
+from repro.nr import nr_backscatter_trial
+from repro.utils.rng import make_rng
+from repro.wifi import WifiTransmitter
+
+
+def main():
+    print("Chip backscatter on an 802.11g packet:")
+    rng = make_rng(0)
+    packet = WifiTransmitter(12.0, rng=rng).transmit(psdu_bytes=400)
+    layout = wifi_layout(packet.samples, packet.n_data_symbols)
+    tag = OfdmChipTag(layout)
+    payload = rng.integers(0, 2, size=tag.capacity_bits()).astype(np.int8)
+    hybrid, used = tag.modulate(packet.samples, payload)
+    got = OfdmChipReceiver(layout).demodulate(hybrid, packet.samples, used)
+    errors = int(np.sum(got != payload[:used]))
+    on_air = layout.n_symbols * 4e-6
+    print(f"  {used} chips over {on_air*1e6:.0f} us on air, {errors} errors")
+    print(f"  -> {used/on_air/1e6:.1f} Mbps while a packet is present")
+    print("  ... but ambient WiFi is present only ~10-50% of the time.\n")
+
+    print("Chip backscatter on 5G NR carriers:")
+    for preset in ("nr10_mu0", "nr20_mu1", "nr40_mu1"):
+        result = nr_backscatter_trial(preset, payload_length=500_000, snr_db=35, seed=1)
+        print(
+            f"  {preset:9s}: {result.throughput_bps/1e6:6.2f} Mbps "
+            f"(BER {result.ber:.1e}) — continuous, like LTE"
+        )
+
+    lte = LScatterLinkModel(20.0).raw_bit_rate_bps
+    print(f"\nReference: LScatter on 20 MHz LTE = {lte/1e6:.2f} Mbps.")
+    print("Same modulation everywhere; only the carrier's availability differs.")
+
+
+if __name__ == "__main__":
+    main()

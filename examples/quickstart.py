@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: one end-to-end LScatter transmission.
+
+Builds ambient LTE frames, runs the tag's analog sync circuit, modulates
+a payload at basic-timing-unit granularity, carries everything over a
+fading channel, and demodulates at the UE — printing what happened at
+each stage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LScatterSystem, SystemConfig
+
+
+def main():
+    config = SystemConfig(
+        bandwidth_mhz=5.0,  # one of 1.4/3/5/10/15/20
+        venue="smart_home",
+        enb_to_tag_ft=3.0,
+        tag_to_ue_ft=5.0,
+        n_frames=2,
+        sync_mode="circuit",  # run the real analog sync simulation
+        reference_mode="decoded",  # UE rebuilds the ambient from its own decode
+    )
+    system = LScatterSystem(config, rng=42)
+
+    payload_bits = 50_000
+    print(f"Simulating {config.n_frames} LTE frames at {config.bandwidth_mhz} MHz ...")
+    report = system.run(payload_length=payload_bits, artifacts=True)
+
+    artifacts = report.extras["artifacts"]
+    print(f"  tag sync error        : {report.sync_error_us:+.2f} us")
+    print(f"  packets demodulated   : {len(artifacts.demod.packets)}")
+    print(f"  chips carried         : {report.n_bits}")
+    print(f"  bit errors            : {report.n_errors}  (BER {report.ber:.2e})")
+    print(f"  throughput            : {report.throughput_bps / 1e6:.3f} Mbps")
+    print(f"  ambient LTE decode    : BLER {report.lte_block_error_rate:.3f}, "
+          f"{report.lte_throughput_bps / 1e6:.2f} Mbps (unharmed by the tag)")
+
+    models = {}
+    for packet in artifacts.demod.packets:
+        models[packet.model] = models.get(packet.model, 0) + 1
+    print(f"  receiver models used  : {models}")
+
+
+if __name__ == "__main__":
+    main()

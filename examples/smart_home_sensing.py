@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Smart-home telemetry: several sensor tags sharing one LTE carrier.
+
+The scenario §1 of the paper motivates: battery-free sensors scattered
+through an apartment, all piggybacking on the same ambient eNodeB.  Tags
+share the carrier by slot-level TDMA derived from the common PSS timing —
+no coordination channel needed.
+
+Run:  python examples/smart_home_sensing.py
+"""
+
+from repro.apps import SensorNetwork
+from repro.apps.sensing import SensorTag
+from repro.tag.power import TagPowerModel
+
+
+def main():
+    tags = [
+        SensorTag("thermostat", enb_to_tag_ft=4.0, tag_to_ue_ft=6.0, reading_bits=48),
+        SensorTag("door-sensor", enb_to_tag_ft=9.0, tag_to_ue_ft=12.0, reading_bits=16),
+        SensorTag("motion-living", enb_to_tag_ft=6.0, tag_to_ue_ft=8.0, reading_bits=32),
+        SensorTag("air-quality", enb_to_tag_ft=12.0, tag_to_ue_ft=15.0, reading_bits=96),
+        SensorTag("water-meter", enb_to_tag_ft=18.0, tag_to_ue_ft=20.0, reading_bits=64),
+    ]
+    network = SensorNetwork(tags, bandwidth_mhz=20.0, venue="smart_home", rng=7)
+
+    print(f"Simulating {len(tags)} LScatter sensor tags for 10 s ...")
+    report = network.run(duration_s=10.0)
+    for tag in tags:
+        delivery = report.per_tag_delivery[tag.name]
+        rate = report.per_tag_readings_per_s[tag.name]
+        print(
+            f"  {tag.name:14s} ({tag.enb_to_tag_ft:4.1f} ft from eNodeB): "
+            f"delivery {delivery:6.1%}, {rate:7.1f} readings/s"
+        )
+    print(f"  aggregate: {report.aggregate_readings_per_s:.0f} readings/s")
+
+    power = TagPowerModel("ring").breakdown(20.0)
+    print(
+        f"\nEach tag draws ~{power.total_uw:.0f} uW with a ring-oscillator "
+        "clock — years on a coin cell, or RF-harvestable."
+    )
+
+
+if __name__ == "__main__":
+    main()

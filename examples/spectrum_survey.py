@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Virtual spectrum-analyzer session (paper Fig. 4a/4b).
+
+Synthesises 20 ms of a 2.4 GHz WiFi channel and of an LTE downlink band,
+computes their spectrograms, and prints an ASCII rendering plus the
+measured occupancy — the observation the whole paper is built on.
+
+Run:  python examples/spectrum_survey.py
+"""
+
+import numpy as np
+
+from repro.traffic.spectrum import (
+    lte_band_capture,
+    occupancy_from_spectrogram,
+    spectrogram,
+    wifi_band_capture,
+)
+
+
+def ascii_spectrogram(times, freqs, magnitude_db, rows=18, cols=64):
+    """Tiny terminal heat map: darker glyph = more power."""
+    glyphs = " .:-=+*#%@"
+    t_idx = np.linspace(0, len(times) - 1, cols).astype(int)
+    f_idx = np.linspace(0, len(freqs) - 1, rows).astype(int)
+    picture = magnitude_db[t_idx][:, f_idx].T
+    lo, hi = np.percentile(picture, [20, 99])
+    scaled = np.clip((picture - lo) / max(hi - lo, 1e-9), 0, 1)
+    lines = []
+    for row in scaled[::-1]:
+        lines.append("".join(glyphs[int(v * (len(glyphs) - 1))] for v in row))
+    return "\n".join(lines)
+
+
+def main():
+    print("WiFi channel (bursty packets + ZigBee interferer):")
+    wifi = wifi_band_capture(rng=3)
+    times, freqs, mag = spectrogram(wifi)
+    print(ascii_spectrogram(times, freqs, mag))
+    wifi_occ = occupancy_from_spectrogram(mag)
+    print(f"  measured occupancy: {wifi_occ:.2f}\n")
+
+    print("LTE downlink (continuous, PSS every 5 ms):")
+    lte = lte_band_capture(rng=3)
+    times, freqs, mag = spectrogram(lte)
+    print(ascii_spectrogram(times, freqs, mag))
+    lte_occ = occupancy_from_spectrogram(mag)
+    print(f"  measured occupancy: {lte_occ:.2f}")
+
+    print(
+        "\nThe LTE band is occupied every single frame; the WiFi channel "
+        f"is silent {1 - wifi_occ:.0%} of the time and shared with "
+        "heterogeneous devices — the paper's Observation 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

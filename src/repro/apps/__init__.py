@@ -1,0 +1,22 @@
+"""Applications built on LScatter (paper §5).
+
+* :mod:`repro.apps.emg` + :mod:`repro.apps.auth` — continuous
+  authentication from electromyography streamed over a backscatter link
+  (paper Fig. 33).
+* :mod:`repro.apps.sensing` — multi-tag smart-home telemetry with
+  slot-level TDMA, the deployment §1 motivates.
+"""
+
+from repro.apps.emg import EmgGenerator, emg_features, FEATURE_NAMES
+from repro.apps.auth import ContinuousAuthApp, AuthReport
+from repro.apps.sensing import SensorNetwork, SensingReport
+
+__all__ = [
+    "EmgGenerator",
+    "emg_features",
+    "FEATURE_NAMES",
+    "ContinuousAuthApp",
+    "AuthReport",
+    "SensorNetwork",
+    "SensingReport",
+]

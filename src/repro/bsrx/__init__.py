@@ -1,0 +1,26 @@
+"""Backscatter receiver: recovering tag chips from the hybrid LTE signal.
+
+Implements the UE-side pipeline of paper §3.3 — phase-offset elimination
+(Eq. 6), modulation-offset determination via the preamble (Eq. 7), and
+parallel chip demodulation — at both the frequency-domain formulation the
+paper presents and the numerically-equivalent per-unit matched filter the
+code runs.
+"""
+
+from repro.bsrx.phase_offset import (
+    eliminate_phase_offset,
+    estimate_path_gain,
+    apply_phase_offset,
+)
+from repro.bsrx.mod_offset import find_modulation_offset, OffsetEstimate
+from repro.bsrx.demodulator import BackscatterDemodulator, BsDemodResult
+
+__all__ = [
+    "eliminate_phase_offset",
+    "estimate_path_gain",
+    "apply_phase_offset",
+    "find_modulation_offset",
+    "OffsetEstimate",
+    "BackscatterDemodulator",
+    "BsDemodResult",
+]

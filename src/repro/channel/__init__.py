@@ -1,0 +1,24 @@
+"""Wireless channel substrate: path loss, fading, noise, backscatter links.
+
+The paper's link topology is a cascade — eNodeB -> tag -> UE for the
+backscattered signal, eNodeB -> UE for the ambient signal — and every
+distance/BER experiment reduces to this package's link budget plus the
+IQ-level impairments it applies.
+"""
+
+from repro.channel.pathloss import PathLossModel, VENUE_PRESETS
+from repro.channel.fading import FadingChannel, tdl_taps
+from repro.channel.noise import noise_std_for_bandwidth, add_thermal_noise
+from repro.channel.link import BackscatterLink, DirectLink, LinkBudget
+
+__all__ = [
+    "PathLossModel",
+    "VENUE_PRESETS",
+    "FadingChannel",
+    "tdl_taps",
+    "noise_std_for_bandwidth",
+    "add_thermal_noise",
+    "BackscatterLink",
+    "DirectLink",
+    "LinkBudget",
+]

@@ -1,0 +1,32 @@
+"""Thermal noise at IQ level.
+
+Waveforms in the reproduction carry amplitudes in sqrt-milliwatt units, so
+a sample stream with mean |x|^2 = p represents p mW of signal power.  The
+matching noise floor for a receiver sampled at the signal bandwidth is
+``kTB * NF`` over that bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.units import dbm_to_watts, thermal_noise_dbm
+
+
+def noise_std_for_bandwidth(bandwidth_hz, noise_figure_db=6.0):
+    """Per-quadrature noise standard deviation in sqrt-mW units."""
+    noise_dbm = thermal_noise_dbm(bandwidth_hz, noise_figure_db)
+    noise_mw = dbm_to_watts(noise_dbm) * 1e3
+    return float(np.sqrt(noise_mw / 2.0))
+
+
+def add_thermal_noise(samples, bandwidth_hz, noise_figure_db=6.0, rng=None):
+    """Add kTB+NF complex noise to a sqrt-mW waveform."""
+    rng = make_rng(rng)
+    samples = np.asarray(samples, dtype=complex)
+    std = noise_std_for_bandwidth(bandwidth_hz, noise_figure_db)
+    noise = std * (
+        rng.standard_normal(len(samples)) + 1j * rng.standard_normal(len(samples))
+    )
+    return samples + noise

@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Three commands:
+
+* ``simulate`` — run one end-to-end IQ simulation from flags;
+* ``experiment`` — regenerate a paper table/figure (same as
+  ``python -m repro.experiments``);
+* ``survey`` — print the ambient-traffic survey for a venue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_simulate(args):
+    from repro.core import LScatterSystem, SystemConfig
+
+    config = SystemConfig(
+        bandwidth_mhz=args.bandwidth,
+        venue=args.venue,
+        enb_to_tag_ft=args.enb_to_tag,
+        tag_to_ue_ft=args.tag_to_ue,
+        tx_power_dbm=args.tx_power,
+        n_frames=args.frames,
+        sync_mode="circuit" if args.circuit_sync else "model",
+        reference_mode="decoded" if args.decoded_reference else "genie",
+    )
+    system = LScatterSystem(config, rng=args.seed)
+    report = system.run(payload_length=args.payload)
+    print(f"bandwidth      : {args.bandwidth} MHz ({args.venue})")
+    print(f"geometry       : eNodeB --{args.enb_to_tag} ft-- tag --{args.tag_to_ue} ft-- UE")
+    print(f"sync error     : {report.sync_error_us:+.2f} us")
+    print(f"chips carried  : {report.n_bits}")
+    print(f"bit errors     : {report.n_errors} (BER {report.ber:.3e})")
+    print(f"throughput     : {report.throughput_bps / 1e6:.3f} Mbps")
+    if not np.isnan(report.lte_block_error_rate):
+        print(
+            f"ambient LTE    : BLER {report.lte_block_error_rate:.3f}, "
+            f"{report.lte_throughput_bps / 1e6:.2f} Mbps"
+        )
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = [args.id] if args.id else ["--list"]
+    if args.seed:
+        argv += ["--seed", str(args.seed)]
+    return experiments_main(argv)
+
+
+def _cmd_survey(args):
+    from repro.traffic import weekly_occupancy_samples
+
+    print(f"{'carrier':16s} {'median':>8s} {'p90':>8s}")
+    for tech in ("lte", "wifi", "lora"):
+        samples = weekly_occupancy_samples(tech, args.venue, rng=args.seed)
+        print(
+            f"{tech:16s} {np.median(samples):8.3f} "
+            f"{np.percentile(samples, 90):8.3f}"
+        )
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LScatter reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one end-to-end simulation")
+    simulate.add_argument("--bandwidth", type=float, default=5.0)
+    simulate.add_argument("--venue", default="smart_home")
+    simulate.add_argument("--enb-to-tag", type=float, default=3.0)
+    simulate.add_argument("--tag-to-ue", type=float, default=5.0)
+    simulate.add_argument("--tx-power", type=float, default=10.0)
+    simulate.add_argument("--frames", type=int, default=2)
+    simulate.add_argument("--payload", type=int, default=50_000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--circuit-sync", action="store_true")
+    simulate.add_argument("--decoded-reference", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("id", nargs="?", help="experiment id (omit to list)")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    survey = sub.add_parser("survey", help="ambient-traffic survey for a venue")
+    survey.add_argument("--venue", default="home")
+    survey.add_argument("--seed", type=int, default=0)
+    survey.set_defaults(func=_cmd_survey)
+
+    report = sub.add_parser("report", help="write the full evaluation report")
+    report.add_argument("--output", default="report.md")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--heavy", action="store_true", help="include the IQ-level experiments"
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def _cmd_report(args):
+    from repro.analysis import write_report
+
+    path = write_report(args.output, seed=args.seed, include_heavy=args.heavy)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

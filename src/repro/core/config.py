@@ -1,0 +1,77 @@
+"""Scenario configuration for the end-to-end simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channel.link import (
+    DEFAULT_CARRIER_HZ,
+    DEFAULT_NOISE_FIGURE_DB,
+    DEFAULT_SYSTEM_GAIN_DB,
+    DEFAULT_TAG_LOSS_DB,
+    LinkBudget,
+)
+from repro.lte.frame import CellConfig
+from repro.lte.params import LteParams
+
+
+@dataclass
+class SystemConfig:
+    """Everything that defines one LScatter experiment run.
+
+    Distances are in feet, as the paper reports them.
+    """
+
+    bandwidth_mhz: float = 20.0
+    venue: str = "smart_home"
+    enb_to_tag_ft: float = 3.0
+    tag_to_ue_ft: float = 3.0
+    enb_to_ue_ft: float = None  # defaults to enb_to_tag + tag_to_ue
+    tx_power_dbm: float = 10.0
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+    system_gain_db: float = DEFAULT_SYSTEM_GAIN_DB
+    tag_loss_db: float = DEFAULT_TAG_LOSS_DB
+    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB
+    cell: CellConfig = field(default_factory=CellConfig)
+    n_frames: int = 2
+    #: "circuit" runs the analog sync simulation; "model" draws the sync
+    #: error from the circuit's calibrated distribution (fast); an integer
+    #: via ``sync_error_samples`` pins it exactly.
+    sync_mode: str = "model"
+    sync_error_samples: int = None
+    #: "decoded" reconstructs the ambient reference from the UE's own LTE
+    #: decode (the deployable receiver); "genie" uses the transmitted
+    #: samples directly (fast, used by wide parameter sweeps).
+    reference_mode: str = "decoded"
+    multipath: bool = True
+    add_noise: bool = True
+    #: Structural (unmodulated, in-band) reflection of the tag relative to
+    #: the modulated backscatter — the residual the Fig. 32 impact
+    #: experiment measures.
+    structural_reflection_db: float = -15.0
+    #: UE local-oscillator error in parts-per-million of the carrier.
+    #: 0 models a perfect LO; real crystals are +-(0.1-1) ppm and the UE
+    #: estimates/corrects the resulting CFO from the cyclic prefix.
+    ue_cfo_ppm: float = 0.0
+
+    def __post_init__(self):
+        if self.enb_to_ue_ft is None:
+            self.enb_to_ue_ft = self.enb_to_tag_ft + self.tag_to_ue_ft
+        if self.sync_mode not in ("circuit", "model"):
+            raise ValueError("sync_mode must be 'circuit' or 'model'")
+        if self.reference_mode not in ("decoded", "genie"):
+            raise ValueError("reference_mode must be 'decoded' or 'genie'")
+
+    @property
+    def params(self):
+        return LteParams.from_bandwidth(self.bandwidth_mhz)
+
+    def budget(self):
+        return LinkBudget(
+            tx_power_dbm=self.tx_power_dbm,
+            carrier_hz=self.carrier_hz,
+            venue=self.venue,
+            system_gain_db=self.system_gain_db,
+            tag_loss_db=self.tag_loss_db,
+            noise_figure_db=self.noise_figure_db,
+        )

@@ -1,0 +1,91 @@
+"""Link-level metrics: BER, throughput, window alignment.
+
+The tag's genie schedule and the receiver's demodulated windows are
+matched by their absolute sample positions (the receiver's found offset
+should land exactly on the tag's chip window; a mismatch beyond half a
+symbol means the preamble search failed and the window counts as fully
+errored — the honest accounting for a lost packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LinkReport:
+    """Outcome of one end-to-end run."""
+
+    n_bits: int
+    n_errors: int
+    duration_seconds: float
+    n_windows: int = 0
+    n_lost_windows: int = 0
+    sync_error_us: float = float("nan")
+    lte_block_error_rate: float = float("nan")
+    lte_throughput_bps: float = float("nan")
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ber(self):
+        if self.n_bits == 0:
+            return float("nan")
+        return self.n_errors / self.n_bits
+
+    @property
+    def throughput_bps(self):
+        """Correctly demodulated backscatter bits per second (paper §4.2)."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return (self.n_bits - self.n_errors) / self.duration_seconds
+
+
+def align_windows(schedule_windows, demod_starts, tolerance):
+    """Match genie chip windows to demodulated windows by position.
+
+    Returns a list of (schedule_index, demod_index or None).  Only data
+    windows are considered on the schedule side.
+    """
+    demod_starts = np.asarray(demod_starts, dtype=np.int64)
+    pairs = []
+    for s_index, window in enumerate(schedule_windows):
+        if window.kind != "data":
+            continue
+        if len(demod_starts) == 0:
+            pairs.append((s_index, None))
+            continue
+        deltas = np.abs(demod_starts - window.start)
+        best = int(np.argmin(deltas))
+        if deltas[best] <= tolerance:
+            pairs.append((s_index, best))
+        else:
+            pairs.append((s_index, None))
+    return pairs
+
+
+def measure_ber(schedule, demod_result, tolerance):
+    """Count bit errors between a tag schedule and a demodulation result.
+
+    Unmatched (lost) windows count every bit as errored.
+    Returns ``(n_bits, n_errors, n_windows, n_lost)``.
+    """
+    pairs = align_windows(schedule.windows, demod_result.starts, tolerance)
+    n_bits = 0
+    n_errors = 0
+    n_lost = 0
+    for s_index, d_index in pairs:
+        sent = schedule.windows[s_index].bits
+        n_bits += len(sent)
+        if d_index is None:
+            n_errors += len(sent)
+            n_lost += 1
+            continue
+        received = demod_result.window_bits[d_index]
+        if len(received) != len(sent):
+            n_errors += len(sent)
+            n_lost += 1
+            continue
+        n_errors += int(np.sum(received != sent))
+    return n_bits, n_errors, len(pairs), n_lost

@@ -1,0 +1,269 @@
+"""End-to-end IQ-level LScatter simulation.
+
+One :meth:`LScatterSystem.run` call simulates the full paper pipeline:
+
+  eNodeB frames -> (channel) -> tag [envelope sync -> scheduler -> RF
+  switch] -> (channel) -> UE [LTE decode of the direct band, ambient
+  reconstruction, backscatter chip demodulation] -> BER / throughput.
+
+Two captures reach the UE: the **direct band** (the ambient LTE signal the
+UE decodes normally — also how it rebuilds the reference waveform ``x_n``)
+and the **shifted band** at ``fc + 1/Ts`` (the backscattered hybrid signal,
+represented at its own baseband — the frequency shift of paper Eq. 4 is
+implicit in the tuning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bsrx.demodulator import BackscatterDemodulator
+from repro.channel.fading import FadingChannel, venue_k_factor_db
+from repro.channel.link import BackscatterLink, DirectLink
+from repro.channel.noise import add_thermal_noise
+from repro.core.config import SystemConfig
+from repro.core.metrics import LinkReport, measure_ber
+from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
+from repro.lte.frame import FrameBuilder
+from repro.lte.params import FRAME_SECONDS
+from repro.lte.ofdm import modulate_frame
+from repro.lte.receiver import LteReceiver
+from repro.lte.transmitter import LteTransmitter
+from repro.tag.controller import TagController
+from repro.tag.modulator import ChipModulator
+from repro.tag.sync_circuit import SyncCircuit
+from repro.utils.rng import make_rng, spawn_rngs
+
+#: Residual sync-error distribution after the tag's calibration constant
+#: (see :mod:`repro.tag.sync_circuit`): the raw 30-40 us comparator delay
+#: is calibrated out; what remains is jitter.
+RESIDUAL_SYNC_MEAN_SECONDS = 1e-6
+RESIDUAL_SYNC_STD_SECONDS = 2.5e-6
+
+
+@dataclass
+class RunArtifacts:
+    """Intermediate waveforms, for examples and debugging."""
+
+    capture: object = None
+    schedule: object = None
+    demod: object = None
+    direct_rx: np.ndarray = None
+    shifted_rx: np.ndarray = None
+    sync_result: object = None
+
+
+class LScatterSystem:
+    """Wire up one configured LScatter scenario."""
+
+    def __init__(self, config=None, rng=None):
+        self.config = config or SystemConfig()
+        self.rng = make_rng(rng)
+        self.params = self.config.params
+        self.budget = self.config.budget()
+        self.controller = TagController(self.params, rng=self.rng)
+        self.modulator = ChipModulator()
+        self.demodulator = BackscatterDemodulator(self.params)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fading(self, rng, distance_ft, nlos=False):
+        """Small-scale fading for one hop.
+
+        The Rician K factor grows as the hop shrinks — a tag a few feet
+        from the eNodeB or UE sees an almost-flat channel, which is the
+        regime the paper's receiver (and its Fig. 19 "within 15 feet of
+        either end") operates in.
+        """
+        if not self.config.multipath:
+            return FadingChannel.flat()
+        k_db = venue_k_factor_db(self.config.venue, distance_ft, nlos)
+        n_taps = 2 if self.config.venue == "outdoor" else 3
+        return FadingChannel.rician(
+            k_db=k_db, n_taps=n_taps, decay_db_per_tap=5.0, rng=rng
+        )
+
+    def _sync_error_samples(self, ambient_at_tag, rng):
+        """Residual timing error of the tag, per the configured mode."""
+        config = self.config
+        fs = self.params.sample_rate_hz
+        if config.sync_error_samples is not None:
+            return int(config.sync_error_samples), None
+        if config.sync_mode == "circuit":
+            circuit = SyncCircuit(fs, rng=rng)
+            result = circuit.process(ambient_at_tag)
+            timing = self.controller.timing_from_sync(
+                result, true_half_frame_start=0
+            )
+            return int(timing.error_samples), result
+        error_s = rng.normal(RESIDUAL_SYNC_MEAN_SECONDS, RESIDUAL_SYNC_STD_SECONDS)
+        return int(round(error_s * fs)), None
+
+    def _reconstruct_reference(self, direct_rx, tx_capture, lte_result):
+        """Rebuild the ambient waveform the demodulator divides by.
+
+        In ``decoded`` mode the UE re-synthesises each frame from the
+        transport blocks it decoded (falling back to the noisy observation
+        only if a CRC failed, which would degrade those chips — honest
+        behaviour for a deployable receiver).  In ``genie`` mode the
+        transmitted samples are used directly.
+        """
+        if self.config.reference_mode == "genie" or lte_result is None:
+            return tx_capture.samples
+        n = self.params.samples_per_frame
+        builder = FrameBuilder(self.params, self.config.cell, rng=0)
+        pieces = []
+        by_frame = {}
+        for sf in lte_result.subframes:
+            by_frame.setdefault(sf.frame, []).append(sf)
+        for f in sorted(by_frame):
+            subframes = sorted(by_frame[f], key=lambda s: s.subframe)
+            if all(sf.crc_ok for sf in subframes):
+                payloads = [sf.decoded for sf in subframes]
+                frame = builder.build(frame_number=f, payloads=payloads)
+                pieces.append(modulate_frame(frame.grid))
+            else:
+                # CRC failure: no clean reconstruction; use the (scaled)
+                # received samples as the best available reference.
+                chunk = direct_rx[f * n : (f + 1) * n]
+                power = np.mean(np.abs(chunk) ** 2)
+                ref_power = np.mean(np.abs(tx_capture.samples[:n]) ** 2)
+                scale = np.sqrt(ref_power / max(power, 1e-30))
+                pieces.append(chunk * scale)
+        return np.concatenate(pieces)
+
+    # -- main entry --------------------------------------------------------------
+
+    def run(self, payload_bits=None, payload_length=20000, artifacts=False):
+        """Simulate one capture; returns a :class:`LinkReport`.
+
+        ``payload_bits`` may be an explicit bit array; otherwise
+        ``payload_length`` random bits are generated.  With
+        ``artifacts=True`` the report's ``extras['artifacts']`` carries the
+        intermediate waveforms.
+        """
+        config = self.config
+        rngs = spawn_rngs(self.rng.integers(0, 2**31 - 1), 6)
+        rng_payload, rng_fade, rng_noise, rng_sync, rng_tx, rng_shadow = rngs
+
+        if payload_bits is None:
+            payload_bits = rng_payload.integers(0, 2, size=int(payload_length))
+        payload_bits = np.asarray(payload_bits, dtype=np.int8)
+
+        # 1. eNodeB transmission, normalised to unit mean sample power.
+        tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng_tx)
+        capture = tx.transmit(config.n_frames)
+        mean_power = float(np.mean(np.abs(capture.samples) ** 2))
+        unit = capture.samples / np.sqrt(mean_power)
+
+        # 2. Channels.
+        bs_link = BackscatterLink(
+            budget=self.budget,
+            enb_to_tag_ft=config.enb_to_tag_ft,
+            tag_to_ue_ft=config.tag_to_ue_ft,
+            fading_in=self._fading(rng_fade, config.enb_to_tag_ft),
+            fading_out=self._fading(rng_fade, config.tag_to_ue_ft),
+        )
+        direct_link = DirectLink(
+            budget=self.budget,
+            distance_ft=config.enb_to_ue_ft,
+            fading=self._fading(rng_fade, config.enb_to_ue_ft),
+        )
+
+        ambient_at_tag = bs_link.apply_to_tag(unit)
+        if config.add_noise:
+            ambient_at_tag_noisy = add_thermal_noise(
+                ambient_at_tag,
+                self.params.sample_rate_hz,
+                config.noise_figure_db,
+                rng_noise,
+            )
+        else:
+            ambient_at_tag_noisy = ambient_at_tag
+
+        # 3. Tag: sync, schedule, reflect.
+        error_samples, sync_result = self._sync_error_samples(
+            ambient_at_tag_noisy, rng_sync
+        )
+        timing = self.controller.genie_timing(0, error_samples)
+        schedule = self.controller.build_schedule(
+            timing, len(unit), payload_bits
+        )
+        reflected = self.modulator.reflect(ambient_at_tag, schedule.chips)
+
+        # 4. Receive both bands at the UE.
+        shifted_rx = bs_link.apply_from_tag(reflected)
+        direct_rx = direct_link.apply(unit)
+        # Structural (unmodulated, in-band) tag reflection leaks into the
+        # direct band as weak extra multipath.
+        leak = 10.0 ** (config.structural_reflection_db / 20.0)
+        direct_rx = direct_rx + leak * bs_link.apply_from_tag(ambient_at_tag)
+        # UE oscillator error rotates both bands identically (one LO).
+        cfo_hz = config.ue_cfo_ppm * 1e-6 * config.carrier_hz
+        if cfo_hz:
+            shifted_rx = apply_cfo(shifted_rx, cfo_hz, self.params.sample_rate_hz)
+            direct_rx = apply_cfo(direct_rx, cfo_hz, self.params.sample_rate_hz)
+        if config.add_noise:
+            shifted_rx = add_thermal_noise(
+                shifted_rx,
+                self.params.sample_rate_hz,
+                config.noise_figure_db,
+                rng_noise,
+            )
+            direct_rx = add_thermal_noise(
+                direct_rx,
+                self.params.sample_rate_hz,
+                config.noise_figure_db,
+                rng_noise,
+            )
+        if cfo_hz:
+            # The UE estimates its own offset from the cyclic prefix of
+            # the direct band and derotates both captures.
+            estimated = estimate_cfo(direct_rx, self.params)
+            shifted_rx = correct_cfo(shifted_rx, estimated, self.params.sample_rate_hz)
+            direct_rx = correct_cfo(direct_rx, estimated, self.params.sample_rate_hz)
+
+        # 5. UE: LTE decode (for Fig. 32 and the ambient reconstruction).
+        lte_result = None
+        if config.reference_mode == "decoded":
+            ue = LteReceiver(self.params, config.cell)
+            lte_result = ue.decode(direct_rx, reference_frames=capture.frames)
+        reference = self._reconstruct_reference(direct_rx, capture, lte_result)
+
+        # 6. Backscatter demodulation.
+        half = self.params.samples_per_frame // 2
+        half_starts = np.arange(0, len(unit) - half + 1, half)
+        demod = self.demodulator.demodulate(shifted_rx, reference, half_starts)
+
+        # 7. Metrics.
+        tolerance = self.params.fft_size // 2
+        n_bits, n_errors, n_windows, n_lost = measure_ber(
+            schedule, demod, tolerance
+        )
+        # Throughput is measured over the time the tag actually had
+        # scheduled (whole half-frames); a capture's ragged edge would
+        # otherwise bias short simulations low.
+        scheduled_seconds = schedule.n_half_frames * (FRAME_SECONDS / 2.0)
+        report = LinkReport(
+            n_bits=n_bits,
+            n_errors=n_errors,
+            duration_seconds=scheduled_seconds or capture.duration_seconds,
+            n_windows=n_windows,
+            n_lost_windows=n_lost,
+            sync_error_us=error_samples / self.params.sample_rate_hz * 1e6,
+        )
+        if lte_result is not None:
+            report.lte_block_error_rate = lte_result.block_error_rate
+            report.lte_throughput_bps = lte_result.throughput_bps
+        if artifacts:
+            report.extras["artifacts"] = RunArtifacts(
+                capture=capture,
+                schedule=schedule,
+                demod=demod,
+                direct_rx=direct_rx,
+                shifted_rx=shifted_rx,
+                sync_result=sync_result,
+            )
+        return report

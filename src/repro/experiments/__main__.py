@@ -1,0 +1,38 @@
+"""Command-line entry: ``python -m repro.experiments <id> [--seed N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate one of the paper's tables/figures."
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id, one of: {', '.join(sorted(REGISTRY))}",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for key in sorted(REGISTRY):
+            print(f"{key:8s} {REGISTRY[key][1]}")
+        return 0
+
+    result = run_experiment(args.experiment, seed=args.seed)
+    print(f"# {result.name}: {result.description}")
+    print(result.format_table())
+    if result.notes:
+        print(f"# {result.notes}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Fig. 4c: CDF of traffic occupancy over a week, per technology/venue."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentResult
+from repro.traffic import occupancy_cdf, weekly_occupancy_samples
+from repro.utils.rng import spawn_rngs
+
+#: The seven curves of the paper's figure.
+CURVES = (
+    ("lte", "home"),
+    ("wifi", "office"),
+    ("wifi", "classroom"),
+    ("wifi", "home"),
+    ("lora", "home"),
+    ("lora", "office"),
+    ("lora", "classroom"),
+)
+
+
+def run(seed=0):
+    """One week of samples per curve; rows carry CDF values on a grid."""
+    rngs = spawn_rngs(seed, len(CURVES))
+    grid = np.linspace(0.0, 1.0, 21)
+    rows = []
+    for (tech, venue), rng in zip(CURVES, rngs):
+        samples = weekly_occupancy_samples(tech, venue, rng)
+        _, cdf = occupancy_cdf(samples, grid)
+        row = {"curve": f"{tech}-{venue}"}
+        row.update({f"cdf@{g:.2f}": float(c) for g, c in zip(grid, cdf)})
+        row["median"] = float(np.median(samples))
+        rows.append(row)
+    return ExperimentResult(
+        name="fig04",
+        description="CDF of traffic occupancy ratio (LTE vs WiFi vs LoRa)",
+        rows=rows,
+        notes=(
+            "LTE occupancy is 1.0 everywhere; LoRa ~0.02; WiFi varies by "
+            "venue with office the heaviest but still <0.5 for ~80% of time."
+        ),
+    )

@@ -1,0 +1,57 @@
+"""Fig. 12: demodulated constellation, ideal vs phase-offset-rotated.
+
+Demonstrates paper Eq. 5/6: an unsynchronised chip clock rotates the
+whole constellation by a common phi; conjugate multiplication with a
+reference value (Eq. 6) brings it back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsrx.phase_offset import apply_phase_offset, eliminate_phase_offset
+from repro.experiments.registry import ExperimentResult
+from repro.utils.rng import make_rng
+
+
+def run(seed=0, n_points=256, phi_degrees=35.0):
+    """BPSK chip constellation before/after Eq. 6 elimination."""
+    rng = make_rng(seed)
+    chips = 1.0 - 2.0 * rng.integers(0, 2, size=int(n_points)).astype(float)
+    noise = 0.05 * (rng.standard_normal(n_points) + 1j * rng.standard_normal(n_points))
+    ideal = chips + noise
+    phi = np.deg2rad(phi_degrees)
+    rotated = apply_phase_offset(ideal, phi)
+    # Reference: a known pilot chip (+1) through the same rotation.
+    reference = apply_phase_offset(np.array([1.0 + 0j]), phi)[0]
+    corrected = rotated * np.conj(reference)
+
+    def angle_spread(values):
+        angles = np.angle(values * np.sign(np.real(values) + 1e-12))
+        return float(np.sqrt(np.mean(angles**2)))
+
+    rows = [
+        {
+            "constellation": "ideal",
+            "mean_rotation_deg": 0.0,
+            "decision_errors": int(np.sum((np.real(ideal) > 0) != (chips > 0))),
+        },
+        {
+            "constellation": "phase-offset",
+            "mean_rotation_deg": float(phi_degrees),
+            "decision_errors": int(np.sum((np.real(rotated) > 0) != (chips > 0))),
+        },
+        {
+            "constellation": "eliminated",
+            "mean_rotation_deg": float(
+                np.rad2deg(np.angle(np.sum(corrected * chips)))
+            ),
+            "decision_errors": int(np.sum((np.real(corrected) > 0) != (chips > 0))),
+        },
+    ]
+    return ExperimentResult(
+        name="fig12",
+        description="Constellation rotation by phase offset and its elimination",
+        rows=rows,
+        notes="Eq. 6 removes the common rotation; decisions become error-free.",
+    )

@@ -1,0 +1,30 @@
+"""Extensions from the paper's §6 "Discussion and Opportunities".
+
+"The modulation scheme, phase offset elimination technique, and
+demodulation scheme introduced in this paper are generic.  Potentially,
+these techniques can be applied to any other OFDM signal based protocols
+(e.g., IEEE 802.11 a/g/n/ac/ax and 5G)."
+
+* :mod:`repro.extensions.ofdm_chips` — the basic-timing-unit modulation
+  applied to an arbitrary OFDM carrier, demonstrated on 802.11a/g;
+* :mod:`repro.nr` — a 5G-NR-lite downlink substrate and LScatter on it;
+* :mod:`repro.extensions.harvesting` — RF energy harvesting from the
+  ambient LTE carrier against the §4.8 power budget.
+"""
+
+from repro.extensions.ofdm_chips import (
+    OfdmChipTag,
+    OfdmChipReceiver,
+    OfdmSymbolLayout,
+    wifi_layout,
+)
+from repro.extensions.harvesting import HarvesterModel, HarvestReport
+
+__all__ = [
+    "OfdmChipTag",
+    "OfdmChipReceiver",
+    "OfdmSymbolLayout",
+    "wifi_layout",
+    "HarvesterModel",
+    "HarvestReport",
+]

@@ -1,0 +1,96 @@
+"""RF energy harvesting from the ambient LTE carrier.
+
+Because LTE is continuous, a harvesting tag charges around the clock —
+one more consequence of the paper's Observation 1.  The model uses a
+standard rectifier efficiency curve (zero below sensitivity, rising with
+input power toward a ceiling) and compares the harvested budget against
+the §4.8 consumption model, yielding the duty cycle a battery-free tag
+could sustain at a given distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.link import LinkBudget
+from repro.tag.power import TagPowerModel
+from repro.utils.units import dbm_to_watts
+
+#: Rectifier turn-on sensitivity (dBm): below this, nothing harvests.
+DEFAULT_SENSITIVITY_DBM = -20.0
+
+#: Peak RF-to-DC conversion efficiency at strong input.
+DEFAULT_PEAK_EFFICIENCY = 0.35
+
+#: Input power (dBm) at which efficiency reaches ~63 % of its peak.
+DEFAULT_KNEE_DBM = -5.0
+
+
+@dataclass
+class HarvestReport:
+    """Harvest-vs-consumption balance for one geometry."""
+
+    incident_dbm: float
+    harvested_w: float
+    consumption_w: float
+
+    @property
+    def duty_cycle(self):
+        """Fraction of time the tag can run from harvested power alone."""
+        if self.consumption_w <= 0:
+            return 1.0
+        return float(min(self.harvested_w / self.consumption_w, 1.0))
+
+    @property
+    def self_sustaining(self):
+        return self.harvested_w >= self.consumption_w
+
+
+class HarvesterModel:
+    """Rectifier + power-management model for an LScatter tag."""
+
+    def __init__(
+        self,
+        sensitivity_dbm=DEFAULT_SENSITIVITY_DBM,
+        peak_efficiency=DEFAULT_PEAK_EFFICIENCY,
+        knee_dbm=DEFAULT_KNEE_DBM,
+    ):
+        self.sensitivity_dbm = float(sensitivity_dbm)
+        self.peak_efficiency = float(peak_efficiency)
+        self.knee_dbm = float(knee_dbm)
+
+    def efficiency(self, incident_dbm):
+        """RF-to-DC efficiency at a given incident power."""
+        incident_dbm = float(incident_dbm)
+        if incident_dbm < self.sensitivity_dbm:
+            return 0.0
+        # Saturating exponential above sensitivity.
+        scale = max(self.knee_dbm - self.sensitivity_dbm, 1e-6)
+        x = (incident_dbm - self.sensitivity_dbm) / scale
+        return self.peak_efficiency * (1.0 - np.exp(-x))
+
+    def harvested_w(self, incident_dbm, occupancy=1.0):
+        """DC power harvested from a carrier present ``occupancy`` of the time."""
+        rf_w = dbm_to_watts(incident_dbm)
+        return float(occupancy) * self.efficiency(incident_dbm) * rf_w
+
+    def report(
+        self,
+        enb_to_tag_ft,
+        budget=None,
+        bandwidth_mhz=20.0,
+        clock_technology="ring",
+        occupancy=1.0,
+    ):
+        """Balance harvest against the §4.8 budget at one distance."""
+        budget = budget or LinkBudget(venue="smart_home")
+        loss = budget.pathloss.loss_db_feet(enb_to_tag_ft, budget.carrier_hz)
+        incident = budget.tx_power_dbm - loss + budget.system_gain_db / 2.0
+        consumption = TagPowerModel(clock_technology).breakdown(bandwidth_mhz).total_w
+        return HarvestReport(
+            incident_dbm=float(incident),
+            harvested_w=self.harvested_w(incident, occupancy),
+            consumption_w=consumption,
+        )

@@ -1,0 +1,28 @@
+"""Reliable link layer over the raw LScatter chip stream.
+
+The PHY delivers a bit pipe with a distance-dependent BER; applications
+(firmware updates, bulk sensor history) need reliable delivery.  This
+package adds framing with sequence numbers and CRC-16, plus stop-and-wait
+and selective-repeat ARQ driven by an out-of-band acknowledgement path
+(in a real deployment the eNodeB downlink itself, which the tag's
+envelope receiver can watch for energy-pattern acks).
+"""
+
+from repro.link.framing import LinkFrame, frame_payload, parse_frame, FRAME_HEADER_BITS
+from repro.link.arq import (
+    BitErrorChannel,
+    StopAndWaitArq,
+    SelectiveRepeatArq,
+    ArqReport,
+)
+
+__all__ = [
+    "LinkFrame",
+    "frame_payload",
+    "parse_frame",
+    "FRAME_HEADER_BITS",
+    "BitErrorChannel",
+    "StopAndWaitArq",
+    "SelectiveRepeatArq",
+    "ArqReport",
+]

@@ -1,0 +1,25 @@
+"""LoRa chirp-spread-spectrum PHY substrate.
+
+The PLoRa-style baseline needs ambient LoRa signals; this package provides
+CSS modulation/demodulation (preamble, cyclic-shift symbol encoding,
+dechirp-FFT detection) for the standard spreading factors.
+"""
+
+from repro.lora.css import (
+    LoraParams,
+    chirp,
+    modulate_symbols,
+    demodulate_symbols,
+)
+from repro.lora.transmitter import LoraTransmitter, LoraPacket
+from repro.lora.receiver import LoraReceiver
+
+__all__ = [
+    "LoraParams",
+    "chirp",
+    "modulate_symbols",
+    "demodulate_symbols",
+    "LoraTransmitter",
+    "LoraPacket",
+    "LoraReceiver",
+]

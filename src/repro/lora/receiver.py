@@ -1,0 +1,99 @@
+"""LoRa packet receiver: preamble detection and payload demodulation.
+
+Detection exploits the preamble's periodicity: a dechirp window anywhere
+inside the repeated up-chirps produces an FFT peak whose *bin* equals the
+window's misalignment, so one strong window both detects the packet and
+aligns the symbol clock.  The boundary between preamble and payload is
+found by walking forward until the up-chirps stop (the SFD down-chirps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lora.css import LoraParams, chirp, demodulate_symbols, symbols_to_bits
+from repro.lora.transmitter import SFD_SYMBOLS
+
+#: Peak-to-mean spectrum ratio treated as "a chirp is present".
+DETECTION_RATIO = 5.0
+
+
+@dataclass
+class LoraDecodeResult:
+    """Outcome of one LoRa decode attempt."""
+
+    detected: bool
+    payload_bits: np.ndarray = None
+    start: int = -1
+
+
+class LoraReceiver:
+    """Detect and decode a LoRa packet in a chip-rate capture."""
+
+    def __init__(self, params=None):
+        self.params = params or LoraParams()
+
+    def _dechirp_metric(self, samples, start):
+        """(peak_bin, peak_to_mean) for a dechirped window at ``start``."""
+        n = self.params.n_chips
+        window = samples[start : start + n]
+        if len(window) < n:
+            return -1, 0.0
+        spectrum = np.abs(np.fft.fft(window * chirp(self.params, up=False)))
+        bin_ = int(np.argmax(spectrum))
+        return bin_, float(spectrum[bin_] / (np.mean(spectrum) + 1e-30))
+
+    def _find_alignment(self, samples):
+        """Symbol-aligned index inside the preamble, or -1."""
+        n = self.params.n_chips
+        for start in range(0, max(len(samples) - n, 0), n // 2):
+            bin_, metric = self._dechirp_metric(samples, start)
+            if metric < DETECTION_RATIO:
+                continue
+            aligned = start - bin_
+            if aligned < 0:
+                aligned += n
+            # Confirm: an aligned window must peak at bin 0.
+            bin0, metric0 = self._dechirp_metric(samples, aligned)
+            if metric0 >= DETECTION_RATIO and bin0 in (0, 1, n - 1):
+                return aligned
+        return -1
+
+    def _payload_start(self, samples, aligned):
+        """Walk to the preamble's first symbol, then past it and the SFD."""
+        n = self.params.n_chips
+        start = aligned
+        while start - n >= 0:
+            bin_, metric = self._dechirp_metric(samples, start - n)
+            if metric < DETECTION_RATIO or bin_ not in (0, 1, n - 1):
+                break
+            start -= n
+        end = aligned
+        while True:
+            bin_, metric = self._dechirp_metric(samples, end)
+            if metric < DETECTION_RATIO or bin_ not in (0, 1, n - 1):
+                break
+            end += n
+        return start, end + SFD_SYMBOLS * n
+
+    def decode(self, samples, n_payload_bits):
+        """Decode the first packet; payload length must be known (genie MAC)."""
+        samples = np.asarray(samples, dtype=complex)
+        params = self.params
+        aligned = self._find_alignment(samples)
+        if aligned < 0:
+            return LoraDecodeResult(detected=False)
+        packet_start, payload_start = self._payload_start(samples, aligned)
+        n = params.n_chips
+        n_symbols = int(np.ceil(n_payload_bits / params.bits_per_symbol))
+        if payload_start + n_symbols * n > len(samples):
+            return LoraDecodeResult(detected=False, start=packet_start)
+        values, _peaks = demodulate_symbols(
+            params, samples[payload_start:], n_symbols
+        )
+        bits = symbols_to_bits(params, values)[: int(n_payload_bits)]
+        return LoraDecodeResult(
+            detected=True, payload_bits=bits, start=packet_start
+        )

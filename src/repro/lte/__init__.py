@@ -1,0 +1,42 @@
+"""LTE downlink PHY substrate (3GPP TS 36.211/36.212 subset).
+
+Everything the LScatter system needs from LTE, built from scratch:
+numerology for all six bandwidths, PSS/SSS synchronisation signals,
+cell-specific reference signals, QAM modulation, the convolutional coding
+chain, OFDM, a frame builder/transmitter (the eNodeB), and a full receiver
+(the UE) including cell search and channel estimation.
+"""
+
+from repro.lte.params import (
+    LteParams,
+    SUPPORTED_BANDWIDTHS_MHZ,
+    USEFUL_SYMBOL_SECONDS,
+    PSS_PERIOD_SECONDS,
+)
+from repro.lte.frame import CellConfig, FrameBuilder, LteFrame, build_structure
+from repro.lte.transmitter import LteTransmitter, LteCapture
+from repro.lte.receiver import LteReceiver, LteDecodeResult
+from repro.lte.cell_search import cell_search, CellSearchResult
+from repro.lte.pbch import Mib
+from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
+
+__all__ = [
+    "LteParams",
+    "SUPPORTED_BANDWIDTHS_MHZ",
+    "USEFUL_SYMBOL_SECONDS",
+    "PSS_PERIOD_SECONDS",
+    "CellConfig",
+    "FrameBuilder",
+    "LteFrame",
+    "build_structure",
+    "LteTransmitter",
+    "LteCapture",
+    "LteReceiver",
+    "LteDecodeResult",
+    "cell_search",
+    "CellSearchResult",
+    "Mib",
+    "apply_cfo",
+    "correct_cfo",
+    "estimate_cfo",
+]

@@ -1,0 +1,61 @@
+"""Cyclic redundancy checks used by LTE (36.212 §5.1.1).
+
+Three generator polynomials: CRC-24A (transport blocks), CRC-16 and CRC-8.
+Bit arrays are MSB-first ``int8`` arrays of 0/1, the convention used by the
+whole coding chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Generator polynomials (without the leading x^L term), MSB first.
+_POLYNOMIALS = {
+    "crc24a": (24, 0x864CFB),
+    "crc16": (16, 0x1021),
+    "crc8": (8, 0x9B),
+}
+
+
+def crc_compute(bits, kind="crc24a"):
+    """Compute the CRC of a bit array; returns an ``int8`` bit array.
+
+    >>> parity = crc_compute(np.zeros(10, dtype=np.int8))
+    >>> int(parity.sum())
+    0
+    """
+    if kind not in _POLYNOMIALS:
+        raise ValueError(f"unknown CRC kind {kind!r}")
+    length, poly = _POLYNOMIALS[kind]
+    register = 0
+    mask = (1 << length) - 1
+    top = 1 << (length - 1)
+    for bit in np.asarray(bits, dtype=np.int64):
+        feedback = ((register & top) >> (length - 1)) ^ int(bit)
+        register = ((register << 1) & mask) ^ (poly if feedback else 0)
+    return np.array(
+        [(register >> (length - 1 - i)) & 1 for i in range(length)], dtype=np.int8
+    )
+
+
+def crc_attach(bits, kind="crc24a"):
+    """Append the CRC parity bits to ``bits``."""
+    bits = np.asarray(bits, dtype=np.int8)
+    return np.concatenate([bits, crc_compute(bits, kind)])
+
+
+def crc_check(bits_with_crc, kind="crc24a"):
+    """Validate a CRC-terminated block; returns ``(payload, ok)``.
+
+    >>> payload, ok = crc_check(crc_attach(np.ones(8, dtype=np.int8)))
+    >>> ok, int(payload.sum())
+    (True, 8)
+    """
+    length, _ = _POLYNOMIALS[kind]
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.int8)
+    if len(bits_with_crc) < length:
+        raise ValueError("block shorter than its CRC")
+    payload = bits_with_crc[:-length]
+    expected = crc_compute(payload, kind)
+    ok = bool(np.array_equal(expected, bits_with_crc[-length:]))
+    return payload, ok

@@ -1,0 +1,61 @@
+"""Length-31 Gold pseudo-random sequence generator (36.211 §7.2).
+
+Used for cell-specific reference signals and PDSCH scrambling.  The
+generator is the standard pair of length-31 LFSRs with the first
+``Nc = 1600`` outputs discarded.  Sequences are memoised per
+``(c_init, length)`` since the frame builder asks for the same pilot
+sequences every frame.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Number of initial outputs discarded, per 36.211.
+NC_DISCARD = 1600
+
+
+@lru_cache(maxsize=4096)
+def _gold_cached(c_init, length):
+    total = NC_DISCARD + length
+    # x1 starts as 1,0,0,...; x2 encodes c_init LSB-first.
+    x1 = np.zeros(total + 31, dtype=np.int8)
+    x2 = np.zeros(total + 31, dtype=np.int8)
+    x1[0] = 1
+    for i in range(31):
+        x2[i] = (c_init >> i) & 1
+    for n in range(total):
+        x1[n + 31] = (x1[n + 3] ^ x1[n]) & 1
+        x2[n + 31] = (x2[n + 3] ^ x2[n + 2] ^ x2[n + 1] ^ x2[n]) & 1
+    c = (x1[NC_DISCARD:total] ^ x2[NC_DISCARD:total]).astype(np.int8)
+    c.setflags(write=False)
+    return c
+
+
+def gold_sequence(c_init, length):
+    """Return ``length`` pseudo-random bits for initial state ``c_init``.
+
+    >>> bits = gold_sequence(0x1234, 100)
+    >>> len(bits), set(np.unique(bits)) <= {0, 1}
+    (100, True)
+    """
+    c_init = int(c_init) & 0x7FFFFFFF
+    length = int(length)
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length == 0:
+        return np.zeros(0, dtype=np.int8)
+    return _gold_cached(c_init, length)
+
+
+def gold_qpsk(c_init, n_symbols):
+    """Map a Gold sequence to unit-power QPSK pilots (36.211 eq. for CRS).
+
+    r(m) = (1 - 2 c(2m))/sqrt(2) + j (1 - 2 c(2m+1))/sqrt(2)
+    """
+    bits = gold_sequence(c_init, 2 * int(n_symbols)).astype(float)
+    i = (1.0 - 2.0 * bits[0::2]) / np.sqrt(2.0)
+    q = (1.0 - 2.0 * bits[1::2]) / np.sqrt(2.0)
+    return i + 1j * q

@@ -1,0 +1,95 @@
+"""OFDM modulation/demodulation between resource grids and IQ samples.
+
+Conventions:
+
+* the IFFT is scaled by ``sqrt(fft_size)`` so subcarrier power equals
+  time-domain sample power (unit-power QPSK subcarriers give unit-power
+  samples when the grid is full);
+* each symbol is prefixed with its normal cyclic prefix (160/144 scaled to
+  the FFT size);
+* the demodulator takes the FFT over the useful part, starting right after
+  the CP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lte.params import LteParams, SLOTS_PER_FRAME, SYMBOLS_PER_SLOT
+from repro.lte.resource_grid import ResourceGrid, SYMBOLS_PER_FRAME, symbol_index
+
+
+def modulate_symbol(params, subcarrier_values, symbol_in_slot):
+    """IFFT one symbol's subcarriers and prepend its cyclic prefix."""
+    bins = np.zeros(params.fft_size, dtype=complex)
+    bins[params.subcarrier_indices()] = subcarrier_values
+    useful = np.fft.ifft(bins) * np.sqrt(params.fft_size)
+    cp = params.cp_length(symbol_in_slot)
+    return np.concatenate([useful[-cp:], useful])
+
+
+def modulate_frame(grid):
+    """Serialise a full :class:`ResourceGrid` to one frame of IQ samples."""
+    params = grid.params
+    pieces = []
+    for slot in range(SLOTS_PER_FRAME):
+        for sym in range(SYMBOLS_PER_SLOT):
+            row = symbol_index(slot, sym)
+            pieces.append(modulate_symbol(params, grid.values[row], sym))
+    samples = np.concatenate(pieces)
+    assert len(samples) == params.samples_per_frame
+    return samples
+
+
+def demodulate_symbol(params, samples, symbol_in_slot):
+    """FFT one symbol back to its subcarrier values.
+
+    ``samples`` must contain the full CP + useful symbol.
+    """
+    cp = params.cp_length(symbol_in_slot)
+    expected = cp + params.fft_size
+    if len(samples) != expected:
+        raise ValueError(f"expected {expected} samples, got {len(samples)}")
+    useful = samples[cp:]
+    bins = np.fft.fft(useful) / np.sqrt(params.fft_size)
+    return bins[params.subcarrier_indices()]
+
+
+def demodulate_frame(params, samples):
+    """FFT a frame of IQ samples back into a subcarrier array.
+
+    Returns a ``(140, n_subcarriers)`` complex array.  ``samples`` must be
+    frame-aligned (use cell search first on unaligned captures).
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if len(samples) < params.samples_per_frame:
+        raise ValueError("need a full frame of samples")
+    out = np.zeros((SYMBOLS_PER_FRAME, params.n_subcarriers), dtype=complex)
+    offset = 0
+    for slot in range(SLOTS_PER_FRAME):
+        for sym in range(SYMBOLS_PER_SLOT):
+            row = symbol_index(slot, sym)
+            length = params.symbol_length(sym)
+            out[row] = demodulate_symbol(
+                params, samples[offset : offset + length], sym
+            )
+            offset += length
+    return out
+
+
+def useful_sample_grid(params):
+    """Start offset and length of each symbol's useful part within a frame.
+
+    Returns ``(starts, lengths)`` arrays of shape (140,).  The tag's
+    scheduler uses this to know where basic-timing units live.
+    """
+    starts = np.zeros(SYMBOLS_PER_FRAME, dtype=np.int64)
+    lengths = np.full(SYMBOLS_PER_FRAME, params.fft_size, dtype=np.int64)
+    offset = 0
+    i = 0
+    for _slot in range(SLOTS_PER_FRAME):
+        for sym in range(SYMBOLS_PER_SLOT):
+            starts[i] = offset + params.cp_length(sym)
+            offset += params.symbol_length(sym)
+            i += 1
+    return starts, lengths

@@ -1,0 +1,128 @@
+"""Physical broadcast channel: the MIB (36.211 §6.6, 36.212 §5.3.1 subset).
+
+The PBCH sits in the centre 72 subcarriers of subframe 0, slot 1,
+symbols 0-3 — right next to the PSS/SSS, i.e. more "critical information"
+the tag must leave intact.  The MIB carries the downlink bandwidth and
+the system frame number, which is how a real UE bootstraps before it can
+decode anything else; the reproduction's UE can do the same.
+
+Simplification vs the full standard: the coded MIB is rate-matched into a
+single frame's PBCH resource elements instead of being spread over four
+radio frames (we have no antenna-count ambiguity to disambiguate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lte import coding
+from repro.lte.crs import crs_positions
+from repro.lte.modulation import demodulate_llr, modulate
+from repro.lte.params import LteParams, SUPPORTED_BANDWIDTHS_MHZ
+
+#: Slot and symbols carrying the PBCH.
+PBCH_SLOT = 1
+PBCH_SYMBOLS = (0, 1, 2, 3)
+
+#: PBCH occupies the centre six resource blocks.
+PBCH_SUBCARRIERS = 72
+
+#: MIB payload bits: 3 bandwidth + 10 SFN + 11 spare.
+MIB_BITS = 24
+
+#: Bandwidth index encoding (3 bits).
+_BANDWIDTH_CODES = {bw: i for i, bw in enumerate(SUPPORTED_BANDWIDTHS_MHZ)}
+_CODES_BANDWIDTH = {i: bw for bw, i in _BANDWIDTH_CODES.items()}
+
+
+@dataclass(frozen=True)
+class Mib:
+    """Decoded master information block."""
+
+    bandwidth_mhz: float
+    system_frame_number: int
+
+    def to_bits(self):
+        from repro.utils.dsp import int_to_bits
+
+        code = _BANDWIDTH_CODES[self.bandwidth_mhz]
+        bits = np.concatenate(
+            [
+                int_to_bits(code, 3),
+                int_to_bits(self.system_frame_number % 1024, 10),
+                np.zeros(MIB_BITS - 13, dtype=np.int8),
+            ]
+        )
+        return bits.astype(np.int8)
+
+    @classmethod
+    def from_bits(cls, bits):
+        from repro.utils.dsp import bits_to_int
+
+        bits = np.asarray(bits, dtype=np.int8)
+        code = bits_to_int(bits[:3])
+        if code not in _CODES_BANDWIDTH:
+            raise ValueError(f"unknown bandwidth code {code}")
+        return cls(
+            bandwidth_mhz=_CODES_BANDWIDTH[code],
+            system_frame_number=bits_to_int(bits[3:13]),
+        )
+
+
+def pbch_positions(params, cell_id):
+    """(slot, symbol, columns) triples of the PBCH resource elements.
+
+    CRS positions inside the centre band are excluded on symbols 0 and 1
+    (ports 0/1 pilot room, as in the standard).
+    """
+    if not isinstance(params, LteParams):
+        params = LteParams.from_bandwidth(params)
+    n = params.n_subcarriers
+    centre = np.arange(n // 2 - PBCH_SUBCARRIERS // 2, n // 2 + PBCH_SUBCARRIERS // 2)
+    out = []
+    for sym in PBCH_SYMBOLS:
+        cols = centre
+        if sym in (0, 1):
+            # Reserve the CRS comb (both port-0 combs, i.e. every 3rd).
+            crs = set()
+            for offset_sym in (0, 4):
+                crs.update(
+                    (crs_positions(offset_sym, cell_id, params.n_rb)).tolist()
+                )
+            cols = np.array([c for c in centre if c not in crs])
+        out.append((PBCH_SLOT, sym, cols))
+    return out
+
+
+def pbch_capacity_bits(params, cell_id):
+    """Coded bits the PBCH region can carry (QPSK)."""
+    return 2 * sum(len(cols) for _, _, cols in pbch_positions(params, cell_id))
+
+
+def encode_mib(mib, params, cell_id):
+    """MIB -> QPSK symbols for the PBCH resource elements."""
+    payload = mib.to_bits()
+    with_crc = coding.crc_attach(payload, "crc16")
+    coded = coding.conv_encode(with_crc)
+    target = pbch_capacity_bits(params, cell_id)
+    matched = coding.rate_match(coded, target)
+    scrambled = coding.scramble_bits(matched, cell_id)
+    return modulate(scrambled, "qpsk")
+
+
+def decode_mib(symbols, params, cell_id, noise_variance=0.1):
+    """PBCH symbols -> (Mib or None, crc_ok)."""
+    llrs = demodulate_llr(np.asarray(symbols, dtype=complex), "qpsk", noise_variance)
+    descrambled = coding.descramble_llrs(llrs, cell_id)
+    coded_length = 3 * (MIB_BITS + 16)
+    soft = coding.rate_recover(descrambled, coded_length)
+    decoded = coding.viterbi_decode(soft, MIB_BITS + 16)
+    payload, ok = coding.crc_check(decoded, "crc16")
+    if not ok:
+        return None, False
+    try:
+        return Mib.from_bits(payload), True
+    except ValueError:
+        return None, False

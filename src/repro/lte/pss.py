@@ -1,0 +1,64 @@
+"""Primary synchronisation signal (36.211 §6.11.1).
+
+The PSS is a length-63 Zadoff-Chu sequence with the centre element (which
+would land on the DC subcarrier) punctured, leaving 62 occupied subcarriers
+— 0.93 MHz regardless of the carrier bandwidth.  The root depends only on
+the physical-layer identity within the group (``N_ID^(2)``):
+
+    N_ID^(2) = 0 -> u = 25,  1 -> u = 29,  2 -> u = 34
+
+It occupies the **last OFDM symbol of slots 0 and 10** of every frame
+(FDD), i.e. it repeats every 5 ms — the 200 Hz beacon the tag's analog
+synchronisation circuit locks onto.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lte.zadoff_chu import zadoff_chu
+
+#: Zadoff-Chu root per N_ID^(2).
+PSS_ROOTS = (25, 29, 34)
+
+#: Slots (within a frame) whose last symbol carries the PSS, for FDD.
+PSS_SLOTS = (0, 10)
+
+#: Symbol index within the slot that carries the PSS (last symbol).
+PSS_SYMBOL_IN_SLOT = 6
+
+
+def pss_sequence(n_id_2):
+    """Frequency-domain PSS: 62 complex values (DC element removed).
+
+    >>> len(pss_sequence(0))
+    62
+    """
+    if n_id_2 not in (0, 1, 2):
+        raise ValueError(f"N_ID^(2) must be 0, 1 or 2, got {n_id_2}")
+    zc = zadoff_chu(PSS_ROOTS[n_id_2], 63)
+    # Element 31 would map to DC; 36.211 defines the sequence as two halves
+    # d(n) for n=0..30 and n=31..61 mapped either side of DC.
+    return np.concatenate([zc[:31], zc[32:]])
+
+
+def pss_subcarrier_indices(fft_size):
+    """FFT bin indices of the 62 PSS subcarriers, lowest frequency first.
+
+    The PSS occupies subcarriers -31..-1 and +1..+31 around DC.
+    """
+    fft_size = int(fft_size)
+    low = (np.arange(-31, 0)) % fft_size
+    high = np.arange(1, 32)
+    return np.concatenate([low, high])
+
+
+def pss_time_domain(n_id_2, fft_size):
+    """Useful-symbol time-domain PSS waveform (length ``fft_size``).
+
+    This is the correlation template used by receiver cell search and by
+    tests of the tag's envelope statistics.
+    """
+    grid = np.zeros(int(fft_size), dtype=complex)
+    grid[pss_subcarrier_indices(fft_size)] = pss_sequence(n_id_2)
+    return np.fft.ifft(grid) * np.sqrt(fft_size)

@@ -1,0 +1,24 @@
+"""Medium access for multi-tag LScatter deployments.
+
+The paper demonstrates a single tag; any smart-home/city deployment needs
+many.  Because every tag derives timing from the same PSS, slot-level
+coordination comes for free: this package provides TDMA and slotted-ALOHA
+schemes over the tag schedule, an analytic contention model, and an
+IQ-level two-tag collision simulation (capture effect included).
+"""
+
+from repro.mac.schemes import (
+    TdmaScheme,
+    SlottedAlohaScheme,
+    ContentionReport,
+    simulate_contention,
+)
+from repro.mac.collision import two_tag_collision
+
+__all__ = [
+    "TdmaScheme",
+    "SlottedAlohaScheme",
+    "ContentionReport",
+    "simulate_contention",
+    "two_tag_collision",
+]

@@ -1,0 +1,113 @@
+"""Slot-level access schemes for multiple LScatter tags.
+
+A "slot" here is one tag packet (one LTE slot, 0.5 ms).  All tags hear
+the same PSS, so slot boundaries are shared without any control channel.
+
+* :class:`TdmaScheme` — deterministic round-robin ownership; no
+  collisions ever, per-tag rate divides by the tag count.
+* :class:`SlottedAlohaScheme` — each tag transmits in each slot with
+  probability ``p``; simultaneous transmissions collide unless one tag's
+  received power exceeds the rest by the capture threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+#: Power advantage (dB) at which the strongest colliding tag survives.
+CAPTURE_THRESHOLD_DB = 10.0
+
+#: Tag packets per second (2 half-frames x 10 slots per 10 ms).
+SLOTS_PER_SECOND = 2000.0
+
+
+@dataclass
+class ContentionReport:
+    """Outcome of a contention simulation."""
+
+    scheme: str
+    n_tags: int
+    slots: int
+    per_tag_success: dict = field(default_factory=dict)
+    collision_fraction: float = 0.0
+    idle_fraction: float = 0.0
+
+    @property
+    def aggregate_success_rate(self):
+        """Successful packets per slot across all tags."""
+        total = sum(self.per_tag_success.values())
+        return total / self.slots if self.slots else 0.0
+
+    def per_tag_packets_per_second(self, name):
+        return self.per_tag_success[name] / self.slots * SLOTS_PER_SECOND
+
+
+class TdmaScheme:
+    """Round-robin slot ownership derived from the shared PSS timing."""
+
+    name = "tdma"
+
+    def transmitters(self, slot_index, tag_names, rng):
+        return [tag_names[slot_index % len(tag_names)]]
+
+
+class SlottedAlohaScheme:
+    """Random access: transmit each slot with probability ``p``."""
+
+    name = "slotted-aloha"
+
+    def __init__(self, p=None):
+        #: Default attempt probability 1/n maximises ALOHA throughput.
+        self.p = p
+
+    def transmitters(self, slot_index, tag_names, rng):
+        p = self.p if self.p is not None else 1.0 / len(tag_names)
+        return [name for name in tag_names if rng.random() < p]
+
+
+def simulate_contention(
+    tag_powers_dbm,
+    scheme,
+    n_slots=2000,
+    capture_threshold_db=CAPTURE_THRESHOLD_DB,
+    rng=None,
+):
+    """Simulate ``n_slots`` of access among tags with given rx powers.
+
+    ``tag_powers_dbm`` maps tag name -> received backscatter power at the
+    UE; stronger tags can capture collided slots.
+    Returns a :class:`ContentionReport`.
+    """
+    rng = make_rng(rng)
+    names = sorted(tag_powers_dbm)
+    if not names:
+        raise ValueError("need at least one tag")
+    success = {name: 0 for name in names}
+    collisions = 0
+    idle = 0
+    for slot in range(int(n_slots)):
+        active = scheme.transmitters(slot, names, rng)
+        if not active:
+            idle += 1
+            continue
+        if len(active) == 1:
+            success[active[0]] += 1
+            continue
+        powers = np.array([tag_powers_dbm[name] for name in active])
+        order = np.argsort(powers)[::-1]
+        if powers[order[0]] - powers[order[1]] >= capture_threshold_db:
+            success[active[order[0]]] += 1
+        else:
+            collisions += 1
+    return ContentionReport(
+        scheme=scheme.name,
+        n_tags=len(names),
+        slots=int(n_slots),
+        per_tag_success=success,
+        collision_fraction=collisions / n_slots,
+        idle_fraction=idle / n_slots,
+    )

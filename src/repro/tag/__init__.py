@@ -1,0 +1,37 @@
+"""The LScatter tag: analog sync front-end, scheduler, chip modulator.
+
+Mirrors the hardware prototype of paper §4.1 — matching network + RC
+envelope detector + averaging circuit + comparator feeding an FPGA that
+drives an RF switch — as a sample-level simulation.
+"""
+
+from repro.tag.envelope import EnvelopeDetector, EnvelopeTrace
+from repro.tag.sync_circuit import SyncCircuit, SyncResult
+from repro.tag.controller import TagController, ChipSchedule, TagTiming
+from repro.tag.framing import (
+    preamble_bits,
+    packetize,
+    depacketize,
+    PACKET_SYMBOLS,
+    DATA_SYMBOLS_PER_PACKET,
+)
+from repro.tag.modulator import ChipModulator
+from repro.tag.power import TagPowerModel, PowerBreakdown
+
+__all__ = [
+    "EnvelopeDetector",
+    "EnvelopeTrace",
+    "SyncCircuit",
+    "SyncResult",
+    "TagController",
+    "ChipSchedule",
+    "TagTiming",
+    "preamble_bits",
+    "packetize",
+    "depacketize",
+    "PACKET_SYMBOLS",
+    "DATA_SYMBOLS_PER_PACKET",
+    "ChipModulator",
+    "TagPowerModel",
+    "PowerBreakdown",
+]

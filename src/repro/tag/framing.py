@@ -1,0 +1,78 @@
+"""Packet framing for the backscatter bit stream.
+
+One packet occupies one LTE slot: the first modulated symbol carries a
+known pseudo-noise **preamble** (used by the UE to determine the
+modulation offset, paper §3.3.2 — "the length of the preamble equals the
+length of backscatter data in a symbol"), and the remaining symbols carry
+payload chips.  Chips are 1 bit per basic-timing unit, ``n_chips`` =
+number of LTE data subcarriers per symbol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+#: Symbols per packet (= per LTE slot, normal CP).
+PACKET_SYMBOLS = 7
+
+#: Data symbols per full packet (one symbol is the preamble).
+DATA_SYMBOLS_PER_PACKET = PACKET_SYMBOLS - 1
+
+#: Idle filler chip value — continuous square wave means logical '1'.
+IDLE_BIT = 1
+
+#: Slots per half-frame: the tag's scheduling period is the 5 ms PSS cycle.
+SLOTS_PER_HALF_FRAME = 10
+
+
+def slot_plan():
+    """The (slot, symbol) modulation plan for one half-frame.
+
+    Returns a list with one entry per slot; each entry lists the
+    ``(slot, symbol_in_slot)`` pairs the tag modulates, first of which is
+    the packet preamble.  Slot 0 is the sync slot: its last two symbols
+    carry SSS and PSS and are never modulated (challenge C1).
+    """
+    plan = []
+    for slot in range(SLOTS_PER_HALF_FRAME):
+        last = 5 if slot == 0 else PACKET_SYMBOLS
+        plan.append([(slot, sym) for sym in range(last)])
+    return plan
+
+
+def preamble_bits(n_chips):
+    """The fixed PN preamble for one symbol of ``n_chips`` chips.
+
+    Deterministic (seeded) so tag and UE share it by construction.
+    """
+    rng = make_rng("lscatter-preamble")
+    return rng.integers(0, 2, size=int(n_chips)).astype(np.int8)
+
+
+def packetize(payload, data_symbols, n_chips):
+    """Split ``payload`` bits into per-symbol chip rows, padding with 1s.
+
+    Returns an ``(n_symbols, n_chips)`` int8 array covering exactly
+    ``data_symbols`` symbols; surplus capacity is filled with the idle bit.
+    Raises if the payload does not fit.
+    """
+    payload = np.asarray(payload, dtype=np.int8)
+    capacity = int(data_symbols) * int(n_chips)
+    if len(payload) > capacity:
+        raise ValueError(
+            f"payload of {len(payload)} bits exceeds capacity {capacity}"
+        )
+    padded = np.full(capacity, IDLE_BIT, dtype=np.int8)
+    padded[: len(payload)] = payload
+    return padded.reshape(int(data_symbols), int(n_chips))
+
+
+def depacketize(rows, payload_length):
+    """Flatten received chip rows back to the first ``payload_length`` bits."""
+    rows = np.asarray(rows, dtype=np.int8)
+    flat = rows.reshape(-1)
+    if payload_length > len(flat):
+        raise ValueError("payload length exceeds received chips")
+    return flat[: int(payload_length)]

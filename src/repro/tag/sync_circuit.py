@@ -1,0 +1,129 @@
+"""Averaging circuit + voltage comparator: the PSS event detector.
+
+Paper Fig. 7/8: the comparator's first input is the RC envelope, the
+second a slow averaging circuit of the same envelope; the output goes
+logic-high while the envelope exceeds its own average, i.e. during the
+boosted sync symbols.  The comparator is a MAX931-class ultra-low-power
+part with ~12 us propagation delay (paper §4.8) plus response jitter; both
+are modelled, and together with the RC lag they produce the 30-40 us
+errors of paper Fig. 31.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tag.envelope import EnvelopeDetector, EnvelopeTrace
+from repro.utils.dsp import rc_alpha, rc_lowpass
+from repro.utils.rng import make_rng
+
+#: Comparator propagation delay (seconds), from the MAX931 datasheet.
+COMPARATOR_DELAY_SECONDS = 12e-6
+
+#: One-sigma jitter of the effective detection instant.  Covers comparator
+#: overdrive dependence and RC charge-state variation between frames.
+COMPARATOR_JITTER_SECONDS = 2.5e-6
+
+
+@dataclass
+class SyncResult:
+    """Detected PSS events and the signals that produced them."""
+
+    sample_rate_hz: float
+    envelope: np.ndarray
+    average: np.ndarray
+    comparator: np.ndarray  # 0/1 logic output per sample
+    edges: np.ndarray  # sample indices of rising edges
+
+    @property
+    def edge_times(self):
+        return self.edges / self.sample_rate_hz
+
+    def errors_vs(self, true_times, tolerance_seconds=1e-3):
+        """Per-event sync error against ground-truth PSS times.
+
+        For each true PSS instant, the nearest detected edge within
+        ``tolerance_seconds`` contributes ``edge - truth``; unmatched
+        events are skipped (they count as missed detections).
+        """
+        errors = []
+        edge_times = self.edge_times
+        for t in np.atleast_1d(true_times):
+            if len(edge_times) == 0:
+                continue
+            delta = edge_times - t
+            best = np.argmin(np.abs(delta))
+            if abs(delta[best]) <= tolerance_seconds:
+                errors.append(float(delta[best]))
+        return np.array(errors)
+
+
+class SyncCircuit:
+    """The full analog sync chain: envelope -> average -> comparator."""
+
+    def __init__(
+        self,
+        sample_rate_hz,
+        detector=None,
+        average_tau_seconds=5e-3,
+        threshold_margin=1.6,
+        propagation_delay_seconds=COMPARATOR_DELAY_SECONDS,
+        jitter_seconds=COMPARATOR_JITTER_SECONDS,
+        holdoff_seconds=4e-3,
+        warmup_seconds=12e-3,
+        rng=None,
+    ):
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.detector = detector or EnvelopeDetector(sample_rate_hz)
+        self.average_tau_seconds = float(average_tau_seconds)
+        self.threshold_margin = float(threshold_margin)
+        self.propagation_delay_seconds = float(propagation_delay_seconds)
+        self.jitter_seconds = float(jitter_seconds)
+        self.holdoff_seconds = float(holdoff_seconds)
+        #: The averaging RC starts uncharged; edges before it settles are
+        #: comparator start-up artefacts and are suppressed.
+        self.warmup_seconds = float(warmup_seconds)
+        self.rng = make_rng(rng)
+
+    def process(self, samples):
+        """Run the circuit over a tag-side capture; returns a SyncResult."""
+        trace = self.detector.detect(samples)
+        envelope = trace.envelope
+        alpha = rc_alpha(self.average_tau_seconds, self.sample_rate_hz)
+        average = rc_lowpass(envelope, alpha)
+
+        comparator = (envelope > average * self.threshold_margin).astype(np.int8)
+        edges = np.flatnonzero(np.diff(comparator) > 0) + 1
+        warmup = int(self.warmup_seconds * self.sample_rate_hz)
+        edges = edges[edges >= warmup]
+
+        # Debounce: ignore edges inside the hold-off window of the previous
+        # accepted edge (the comparator chatters on envelope ripple).
+        holdoff = int(self.holdoff_seconds * self.sample_rate_hz)
+        accepted = []
+        last = -holdoff - 1
+        for edge in edges:
+            if edge - last > holdoff:
+                accepted.append(edge)
+                last = edge
+        accepted = np.array(accepted, dtype=np.int64)
+
+        # Comparator propagation delay + jitter move the logic edge later.
+        if len(accepted):
+            delay = self.propagation_delay_seconds + self.rng.normal(
+                0.0, self.jitter_seconds, size=len(accepted)
+            )
+            accepted = accepted + np.round(delay * self.sample_rate_hz).astype(
+                np.int64
+            )
+            accepted = accepted[accepted < len(envelope)]
+
+        return SyncResult(
+            sample_rate_hz=self.sample_rate_hz,
+            envelope=envelope,
+            average=average,
+            comparator=comparator,
+            edges=accepted,
+        )

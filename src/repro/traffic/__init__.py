@@ -1,0 +1,28 @@
+"""Ambient-traffic models: the heart of the paper's motivation.
+
+WiFi/LoRa channels carry bursty, intermittent traffic (random access on a
+shared ISM band); the LTE downlink is continuous (dedicated licensed band,
+always-on reference/sync signals).  This package models carrier *presence*
+as stochastic on/off processes with per-venue diurnal profiles fitted to
+the occupancy statistics the paper reports (Figs 4c, 17, 22, 27).
+"""
+
+from repro.traffic.models import OnOffTraffic, ContinuousTraffic
+from repro.traffic.diurnal import (
+    hourly_occupancy,
+    occupancy_profile,
+    TECHNOLOGIES,
+    VENUES,
+)
+from repro.traffic.occupancy import weekly_occupancy_samples, occupancy_cdf
+
+__all__ = [
+    "OnOffTraffic",
+    "ContinuousTraffic",
+    "hourly_occupancy",
+    "occupancy_profile",
+    "TECHNOLOGIES",
+    "VENUES",
+    "weekly_occupancy_samples",
+    "occupancy_cdf",
+]

@@ -1,0 +1,22 @@
+"""Shared utilities: unit conversions, seeded RNG helpers, DSP primitives."""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watts,
+    watts_to_dbm,
+    feet_to_meters,
+    meters_to_feet,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "feet_to_meters",
+    "meters_to_feet",
+    "make_rng",
+    "spawn_rngs",
+]

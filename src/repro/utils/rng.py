@@ -1,0 +1,39 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the reproduction (channel fading, traffic
+processes, payload generation, comparator jitter) takes a
+``numpy.random.Generator``.  These helpers build them from integer seeds or
+string labels so that experiments are reproducible run-to-run while still
+letting independent subsystems draw independent streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def make_rng(seed=None):
+    """Return a ``numpy.random.Generator``.
+
+    ``seed`` may be ``None`` (non-deterministic), an integer, a string
+    (hashed stably with CRC32 so the same label always yields the same
+    stream), or an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, str):
+        seed = zlib.crc32(seed.encode("utf-8"))
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, count):
+    """Spawn ``count`` statistically independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so child streams do not overlap.
+    """
+    if isinstance(seed, str):
+        seed = zlib.crc32(seed.encode("utf-8"))
+    children = np.random.SeedSequence(seed).spawn(int(count))
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,104 @@
+"""802.11a/g packet transmitter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lte.modulation import modulate
+from repro.wifi import coding
+from repro.wifi.ofdm import assemble_symbol, ltf_waveform, stf_waveform
+from repro.wifi.params import WIFI_RATES, pilot_polarity
+from repro.utils.rng import make_rng
+
+#: Bits in the SERVICE field (all zero; initialises the descrambler).
+SERVICE_BITS = 16
+
+#: Encoder tail bits.
+TAIL_BITS = 6
+
+
+@dataclass
+class WifiPacket:
+    """One transmitted packet: samples plus ground truth."""
+
+    samples: np.ndarray
+    psdu_bits: np.ndarray
+    rate_mbps: float
+    n_data_symbols: int
+
+    @property
+    def duration_seconds(self):
+        return len(self.samples) / 20e6
+
+
+class WifiTransmitter:
+    """Build 802.11a/g packets (preamble + SIGNAL + DATA)."""
+
+    def __init__(self, rate_mbps=12.0, rng=None):
+        if rate_mbps not in WIFI_RATES:
+            raise ValueError(f"unsupported rate {rate_mbps}; use {sorted(WIFI_RATES)}")
+        self.rate = WIFI_RATES[rate_mbps]
+        self.rng = make_rng(rng)
+
+    def _signal_field(self, psdu_bytes):
+        """SIGNAL symbol: RATE(4) + R(1) + LENGTH(12) + parity + tail, BPSK 1/2."""
+        bits = np.zeros(24, dtype=np.int8)
+        for i in range(4):
+            bits[i] = (self.rate.signal_bits >> (3 - i)) & 1
+        for i in range(12):
+            bits[5 + i] = (psdu_bytes >> i) & 1
+        bits[17] = int(np.sum(bits[:17])) % 2
+        coded = coding.conv_encode_half(bits)
+        interleaved = coding.interleave(coded, 48, 1)
+        symbols = modulate(interleaved, "bpsk")
+        # SIGNAL is real BPSK on the I rail in the standard; the complex
+        # BPSK used here is self-consistent between our TX and RX.
+        return assemble_symbol(symbols, pilot_polarity(1)[0])
+
+    def transmit(self, psdu_bits=None, psdu_bytes=100):
+        """Build one packet; random PSDU unless bits are supplied."""
+        if psdu_bits is None:
+            psdu_bits = self.rng.integers(0, 2, size=8 * int(psdu_bytes)).astype(
+                np.int8
+            )
+        psdu_bits = np.asarray(psdu_bits, dtype=np.int8)
+        if len(psdu_bits) % 8:
+            raise ValueError("PSDU must be a whole number of bytes")
+        n_bytes = len(psdu_bits) // 8
+
+        dbps = self.rate.data_bits_per_symbol
+        payload_bits = SERVICE_BITS + len(psdu_bits) + TAIL_BITS
+        n_symbols = int(np.ceil(payload_bits / dbps))
+        padded = np.zeros(n_symbols * dbps, dtype=np.int8)
+        padded[SERVICE_BITS : SERVICE_BITS + len(psdu_bits)] = psdu_bits
+
+        scrambled = coding.scramble(padded)
+        # Tail bits must be zero *after* scrambling so the decoder
+        # terminates in state 0.
+        tail_start = SERVICE_BITS + len(psdu_bits)
+        scrambled[tail_start : tail_start + TAIL_BITS] = 0
+        coded = coding.conv_encode_half(scrambled)
+        punctured = coding.puncture(
+            coded, self.rate.code_rate_num, self.rate.code_rate_den
+        )
+        interleaved = coding.interleave(
+            punctured,
+            self.rate.coded_bits_per_symbol,
+            self.rate.bits_per_subcarrier,
+        )
+        values = modulate(interleaved, self.rate.modulation)
+
+        polarity = pilot_polarity(n_symbols + 1)
+        pieces = [stf_waveform(), ltf_waveform(), self._signal_field(n_bytes)]
+        per_symbol = len(values) // n_symbols
+        for sym in range(n_symbols):
+            chunk = values[sym * per_symbol : (sym + 1) * per_symbol]
+            pieces.append(assemble_symbol(chunk, polarity[sym + 1]))
+        return WifiPacket(
+            samples=np.concatenate(pieces),
+            psdu_bits=psdu_bits,
+            rate_mbps=self.rate.rate_mbps,
+            n_data_symbols=n_symbols,
+        )

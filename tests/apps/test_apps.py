@@ -1,0 +1,94 @@
+"""Application-layer tests: EMG auth and sensor network."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ContinuousAuthApp, EmgGenerator, SensorNetwork, emg_features
+from repro.apps.emg import profile_for_user
+from repro.apps.sensing import SensorTag
+
+
+def test_emg_deterministic_profiles():
+    a = profile_for_user(5)
+    b = profile_for_user(5)
+    assert a == b
+    assert profile_for_user(6) != a
+
+
+def test_emg_signal_statistics():
+    signal = EmgGenerator(0, rng=0).generate(5.0)
+    assert len(signal) == 5000
+    assert abs(np.mean(signal)) < 0.05  # zero-mean
+    assert np.std(signal) > 0.01  # actually active
+
+
+def test_emg_features_shape_and_positive():
+    signal = EmgGenerator(1, rng=1).generate(1.0)
+    features = emg_features(signal)
+    assert features.shape == (4,)
+    assert np.all(features >= 0)
+
+
+def test_emg_features_discriminate_users():
+    f0 = emg_features(EmgGenerator(0, rng=2).generate(4.0))
+    f9 = emg_features(EmgGenerator(9, rng=3).generate(4.0))
+    assert not np.allclose(f0, f9, rtol=0.05)
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ValueError):
+        emg_features(np.array([]))
+
+
+def test_update_rate_decreases_with_distance():
+    rates = [
+        ContinuousAuthApp(enb_to_tag_ft=d, rng=0).update_rate_sps()
+        for d in (2, 16, 32, 40)
+    ]
+    assert all(b < a for a, b in zip(rates, rates[1:]))
+    # Paper Fig. 33b anchors: ~136 sps at 2 ft, single digits at 40 ft.
+    assert rates[0] > 120
+    assert rates[-1] < 15
+
+
+def test_auth_accepts_legit_rejects_imposter():
+    app = ContinuousAuthApp(enb_to_tag_ft=2.0, rng=4)
+    report = app.run(legit_user=0, imposter_user=1, duration_s=12.0)
+    assert report.accept_rate_legit > 0.8
+    assert report.reject_rate_imposter > 0.5
+    assert report.accept_rate_legit > 1.0 - report.reject_rate_imposter
+
+
+def test_enrolled_template_reusable():
+    template = ContinuousAuthApp.enroll(0, rng=5)
+    signal = EmgGenerator(0, rng=6).generate(0.25)
+    assert ContinuousAuthApp.authenticate(signal, template)
+
+
+def test_sensor_network_delivery_ordering():
+    tags = [
+        SensorTag("near", 3, 4),
+        SensorTag("far", 20, 20),
+    ]
+    network = SensorNetwork(tags, rng=0)
+    report = network.run(duration_s=5.0)
+    assert (
+        report.per_tag_delivery["near"] > report.per_tag_delivery["far"]
+    )
+    assert report.aggregate_readings_per_s > 0
+
+
+def test_sensor_network_slots_shared():
+    # Doubling the tag count halves each tag's slot share.
+    one = SensorNetwork([SensorTag("a", 3, 3)], rng=1).run(10.0)
+    two = SensorNetwork(
+        [SensorTag("a", 3, 3), SensorTag("b", 3, 3)], rng=1
+    ).run(10.0)
+    assert two.per_tag_readings_per_s["a"] == pytest.approx(
+        one.per_tag_readings_per_s["a"] / 2, rel=0.15
+    )
+
+
+def test_empty_network_rejected():
+    with pytest.raises(ValueError):
+        SensorNetwork([])

@@ -1,0 +1,84 @@
+"""Symbol-level LTE backscatter and PLoRa baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.plora import MIN_USABLE_OCCUPANCY, PLoraModel
+from repro.baselines.symbol_lte import (
+    RAW_BIT_RATE_BPS,
+    SymbolLevelLteTag,
+    SymbolLteModel,
+)
+from repro.channel.link import LinkBudget
+from repro.lte import LteTransmitter
+from repro.utils.rng import make_rng
+
+
+def test_symbol_lte_rate_is_7kbps():
+    # 14 symbols per ms, 2 per bit (paper Fig. 23's flat 0.007 Mbps line).
+    assert RAW_BIT_RATE_BPS == pytest.approx(7e3)
+
+
+def test_iq_tag_flips_whole_symbols():
+    capture = LteTransmitter(1.4, rng=0).transmit(1)
+    params = capture.params
+    tag = SymbolLevelLteTag(params)
+    bits = np.array([1, 0, 1], dtype=np.int8)
+    hybrid, used = tag.modulate(capture.samples, bits)
+    assert used == 3
+    # First bit flips symbols 0-1 of slot 0 in their entirety.
+    lo = params.symbol_start(0, 0)
+    hi = lo + params.symbol_length(0) + params.symbol_length(1)
+    assert np.allclose(hybrid[lo:hi], -capture.samples[lo:hi])
+
+
+def test_iq_tag_avoids_sync_symbols():
+    capture = LteTransmitter(1.4, rng=1).transmit(1)
+    params = capture.params
+    bits = np.ones(200, dtype=np.int8)  # flip as often as possible
+    hybrid, _ = SymbolLevelLteTag(params).modulate(capture.samples, bits)
+    for slot in (0, 10):
+        lo = params.symbol_start(slot, 5)
+        hi = params.symbol_start(slot, 6) + params.symbol_length(6)
+        assert np.allclose(hybrid[lo:hi], capture.samples[lo:hi])
+
+
+def test_symbol_lte_outranges_wifi_backscatter():
+    from repro.baselines.freerider import WifiBackscatterModel
+
+    budget = LinkBudget(venue="shopping_mall")
+    sym = SymbolLteModel(budget=budget)
+    wifi = WifiBackscatterModel()
+    # Paper Fig. 23: crossover around 80-120 ft.
+    assert wifi.throughput_bps(0.9, 5, 40) > sym.throughput_bps(5, 40)
+    assert sym.throughput_bps(5, 160) > wifi.throughput_bps(0.9, 5, 160)
+
+
+def test_symbol_lte_ber_much_lower_than_chip_level_at_range():
+    from repro.core.link_budget import LScatterLinkModel
+
+    budget = LinkBudget(venue="shopping_mall")
+    sym = SymbolLteModel(budget=budget)
+    chips = LScatterLinkModel(20.0, budget)
+    assert sym.ber(5, 150) < chips.ber(5, 150)
+
+
+def test_lscatter_beats_symbol_lte_in_throughput_everywhere():
+    from repro.core.link_budget import LScatterLinkModel
+
+    budget = LinkBudget(venue="shopping_mall")
+    sym = SymbolLteModel(budget=budget)
+    chips = LScatterLinkModel(20.0, budget)
+    for d in (10, 80, 180):
+        assert chips.predict(5, d).throughput_bps > 100 * sym.throughput_bps(5, d)
+
+
+def test_plora_zero_below_usable_occupancy():
+    model = PLoraModel()
+    assert model.throughput_bps(0.02) == 0.0
+    assert model.throughput_bps(MIN_USABLE_OCCUPANCY - 1e-6) == 0.0
+
+
+def test_plora_proportional_above_threshold():
+    model = PLoraModel()
+    assert model.throughput_bps(0.5) == pytest.approx(0.5 * 284.0)

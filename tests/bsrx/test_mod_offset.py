@@ -1,0 +1,65 @@
+"""Modulation-offset (preamble search) tests — paper Eq. 7."""
+
+import numpy as np
+import pytest
+
+from repro.bsrx.mod_offset import find_modulation_offset
+from repro.tag.framing import preamble_bits
+from repro.utils.rng import make_rng
+
+
+def _make_symbol(offset, n_chips=72, fft=128, gain=1.0 + 0j, seed=0):
+    rng = make_rng(seed)
+    x = rng.standard_normal(fft) + 1j * rng.standard_normal(fft)
+    preamble = preamble_bits(n_chips)
+    chips = np.ones(fft)
+    chips[offset : offset + n_chips] = 2.0 * preamble - 1.0
+    y = gain * x * chips
+    return y, x, preamble
+
+
+def test_exact_offset_found():
+    for true_offset in (10, 28, 45):
+        y, x, preamble = _make_symbol(true_offset)
+        estimate = find_modulation_offset(y, x, preamble, 28, 28)
+        assert estimate.offset == true_offset
+
+
+def test_gain_and_phase_recovered():
+    gain = 0.7 * np.exp(1j * 0.9)
+    y, x, preamble = _make_symbol(28, gain=gain)
+    estimate = find_modulation_offset(y, x, preamble, 28, 10)
+    assert estimate.gain == pytest.approx(gain, abs=1e-9)
+
+
+def test_offset_found_under_noise():
+    rng = make_rng(3)
+    y, x, preamble = _make_symbol(33, seed=4)
+    y = y + 0.2 * (rng.standard_normal(len(y)) + 1j * rng.standard_normal(len(y)))
+    estimate = find_modulation_offset(y, x, preamble, 28, 28)
+    assert estimate.offset == 33
+
+
+def test_search_respects_slack_bounds():
+    y, x, preamble = _make_symbol(28)
+    estimate = find_modulation_offset(y, x, preamble, 10, 3)
+    assert 7 <= estimate.offset <= 13  # clamped to the window
+
+
+def test_empty_window_rejected():
+    y, x, preamble = _make_symbol(28)
+    with pytest.raises(ValueError):
+        find_modulation_offset(y, x, preamble, 2000, 1)
+
+
+def test_length_mismatch_rejected():
+    y, x, preamble = _make_symbol(28)
+    with pytest.raises(ValueError):
+        find_modulation_offset(y[:-1], x, preamble, 28, 5)
+
+
+def test_metric_peaks_only_at_true_offset():
+    y, x, preamble = _make_symbol(28)
+    right = find_modulation_offset(y, x, preamble, 28, 0)
+    wrong = find_modulation_offset(y, x, preamble, 40, 0)
+    assert right.metric > 2 * wrong.metric

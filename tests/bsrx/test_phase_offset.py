@@ -1,0 +1,60 @@
+"""Phase-offset elimination tests (paper Eq. 5/6, Fig. 12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bsrx.phase_offset import (
+    apply_phase_offset,
+    eliminate_phase_offset,
+    estimate_path_gain,
+)
+from repro.utils.rng import make_rng
+
+
+def test_rotation_applied():
+    values = np.array([1.0, 1.0j])
+    rotated = apply_phase_offset(values, np.pi / 2)
+    assert np.allclose(rotated, [1.0j, -1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=-np.pi, max_value=np.pi))
+def test_eq6_cancels_any_common_rotation(phi):
+    rng = make_rng(7)
+    chips = 1.0 - 2.0 * rng.integers(0, 2, size=64).astype(float)
+    rotated = apply_phase_offset(chips.astype(complex), phi)
+    # Use a known +1 reference chip at index 0 by forcing it.
+    rotated[0] = apply_phase_offset(np.array([1.0 + 0j]), phi)[0]
+    products = eliminate_phase_offset(rotated, reference_index=0)
+    decided = np.sign(products.real)
+    assert np.array_equal(decided[1:], np.sign(chips[1:]))
+
+
+def test_estimate_path_gain_exact():
+    rng = make_rng(0)
+    expected = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+    g = 0.3 * np.exp(1j * 1.234)
+    observed = g * expected
+    estimate = estimate_path_gain(observed, expected)
+    assert estimate == pytest.approx(g, abs=1e-12)
+
+
+def test_estimate_path_gain_with_noise_unbiased():
+    rng = make_rng(1)
+    expected = rng.standard_normal(20_000) + 1j * rng.standard_normal(20_000)
+    g = 1.5 * np.exp(-1j * 0.4)
+    observed = g * expected + 0.3 * (
+        rng.standard_normal(20_000) + 1j * rng.standard_normal(20_000)
+    )
+    estimate = estimate_path_gain(observed, expected)
+    assert abs(estimate - g) < 0.02
+
+
+def test_estimate_path_gain_silent_reference():
+    assert estimate_path_gain(np.zeros(4, complex), np.zeros(4, complex)) == 0
+
+
+def test_estimate_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        estimate_path_gain(np.zeros(3, complex), np.zeros(4, complex))

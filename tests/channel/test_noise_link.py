@@ -1,0 +1,83 @@
+"""Noise and link-budget tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import BackscatterLink, DirectLink, LinkBudget
+from repro.channel.noise import add_thermal_noise, noise_std_for_bandwidth
+from repro.utils.rng import make_rng
+from repro.utils.units import dbm_to_watts
+
+
+def test_noise_std_matches_ktb():
+    from repro.utils.units import thermal_noise_dbm
+
+    std = noise_std_for_bandwidth(20e6, noise_figure_db=6.0)
+    power_mw = 2 * std**2
+    expected_mw = dbm_to_watts(thermal_noise_dbm(20e6, 6.0)) * 1e3
+    assert power_mw == pytest.approx(expected_mw, rel=1e-6)
+
+
+def test_add_thermal_noise_power():
+    from repro.utils.units import thermal_noise_dbm
+
+    rng = make_rng(0)
+    silent = np.zeros(200_000, dtype=complex)
+    noisy = add_thermal_noise(silent, 1e6, 0.0, rng)
+    measured_mw = np.mean(np.abs(noisy) ** 2)
+    expected_mw = dbm_to_watts(thermal_noise_dbm(1e6, 0.0)) * 1e3
+    assert measured_mw == pytest.approx(expected_mw, rel=0.05)
+
+
+def test_budget_cascade_composition():
+    budget = LinkBudget(venue="free_space", system_gain_db=0.0, tag_loss_db=8.0)
+    d1, d2 = 10.0, 20.0
+    cascade = budget.backscatter_rx_dbm(d1, d2)
+    loss1 = budget.pathloss.loss_db_feet(d1, budget.carrier_hz)
+    loss2 = budget.pathloss.loss_db_feet(d2, budget.carrier_hz)
+    assert cascade == pytest.approx(budget.tx_power_dbm - loss1 - loss2 - 8.0)
+
+
+def test_backscatter_weaker_than_direct():
+    budget = LinkBudget(venue="smart_home")
+    assert budget.backscatter_rx_dbm(10, 10) < budget.direct_rx_dbm(20)
+
+
+def test_snr_decreases_with_distance():
+    budget = LinkBudget(venue="shopping_mall")
+    near = budget.backscatter_snr_db(5, 10, 20e6)
+    far = budget.backscatter_snr_db(5, 100, 20e6)
+    assert near > far + 20
+
+
+def test_unknown_venue_rejected():
+    with pytest.raises(ValueError):
+        LinkBudget(venue="moon")
+
+
+def test_direct_link_scales_waveform():
+    budget = LinkBudget(venue="free_space", system_gain_db=0.0)
+    link = DirectLink(budget=budget, distance_ft=10.0)
+    x = np.ones(1000, dtype=complex)
+    out = link.apply(x)
+    measured_dbm = 10 * np.log10(np.mean(np.abs(out) ** 2))
+    assert measured_dbm == pytest.approx(budget.direct_rx_dbm(10.0), abs=0.01)
+
+
+def test_backscatter_link_end_to_end_power():
+    budget = LinkBudget(venue="free_space", system_gain_db=4.0)
+    link = BackscatterLink(budget=budget, enb_to_tag_ft=5.0, tag_to_ue_ft=15.0)
+    x = np.ones(1000, dtype=complex)
+    at_tag = link.apply_to_tag(x)
+    at_ue = link.apply_from_tag(at_tag)
+    measured_dbm = 10 * np.log10(np.mean(np.abs(at_ue) ** 2))
+    assert measured_dbm == pytest.approx(
+        budget.backscatter_rx_dbm(5.0, 15.0), abs=0.01
+    )
+
+
+def test_tag_incident_power_uses_half_gain():
+    budget = LinkBudget(venue="free_space", system_gain_db=10.0)
+    link = BackscatterLink(budget=budget, enb_to_tag_ft=10.0, tag_to_ue_ft=10.0)
+    loss = budget.pathloss.loss_db_feet(10.0, budget.carrier_hz)
+    assert link.tag_rx_dbm() == pytest.approx(budget.tx_power_dbm - loss + 5.0)

@@ -1,0 +1,77 @@
+"""Path-loss model tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import (
+    PathLossModel,
+    VENUE_PRESETS,
+    free_space_path_loss_db,
+)
+from repro.utils.rng import make_rng
+
+
+def test_fspl_known_value():
+    # FSPL at 1 m, 680 MHz: 20 log10(4 pi * 680e6 / c) ~ 29.1 dB.
+    assert free_space_path_loss_db(1.0, 680e6) == pytest.approx(29.1, abs=0.1)
+
+
+def test_fspl_frequency_scaling():
+    low = free_space_path_loss_db(10.0, 680e6)
+    high = free_space_path_loss_db(10.0, 2.4e9)
+    assert high - low == pytest.approx(20 * np.log10(2.4e9 / 680e6), abs=1e-6)
+
+
+def test_log_distance_exponent():
+    model = PathLossModel(exponent=3.0)
+    ten = model.loss_db(10.0, 1e9)
+    hundred = model.loss_db(100.0, 1e9)
+    assert hundred - ten == pytest.approx(30.0)
+
+
+def test_extra_loss_added():
+    base = PathLossModel(exponent=2.0)
+    nlos = PathLossModel(exponent=2.0, extra_loss_db=5.0)
+    assert nlos.loss_db(5.0, 1e9) - base.loss_db(5.0, 1e9) == pytest.approx(5.0)
+
+
+def test_absorption_linear_in_distance():
+    model = PathLossModel(exponent=2.0, absorption_db_per_m=0.5)
+    base = PathLossModel(exponent=2.0)
+    assert model.loss_db(40.0, 1e9) - base.loss_db(40.0, 1e9) == pytest.approx(20.0)
+
+
+def test_shadowing_only_with_rng():
+    model = PathLossModel(exponent=2.0, shadowing_db=4.0)
+    deterministic = model.loss_db(10.0, 1e9)
+    assert model.loss_db(10.0, 1e9) == deterministic  # no rng, no jitter
+    rng = make_rng(0)
+    draws = [model.loss_db(10.0, 1e9, rng) for _ in range(200)]
+    assert np.std(draws) == pytest.approx(4.0, abs=0.6)
+
+
+def test_minimum_distance_clamped():
+    model = PathLossModel(exponent=2.0)
+    assert model.loss_db(0.0, 1e9) == model.loss_db(0.1, 1e9)
+
+
+def test_feet_wrapper():
+    model = PathLossModel(exponent=2.0)
+    assert model.loss_db_feet(10.0, 1e9) == pytest.approx(
+        model.loss_db(3.048, 1e9)
+    )
+
+
+def test_presets_exist_and_ordered():
+    assert set(VENUE_PRESETS) >= {
+        "smart_home",
+        "shopping_mall",
+        "outdoor",
+        "outdoor_street",
+        "free_space",
+    }
+    # Indoor decays faster than outdoor.
+    assert (
+        VENUE_PRESETS["smart_home"].exponent
+        > VENUE_PRESETS["outdoor"].exponent
+    )

@@ -1,0 +1,76 @@
+"""Link-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import LinkReport, align_windows, measure_ber
+from repro.tag.controller import ChipSchedule, ChipWindow
+
+
+def _window(start, bits, kind="data"):
+    bits = np.asarray(bits, dtype=np.int8)
+    return ChipWindow(start=start, n_chips=len(bits), kind=kind, bits=bits)
+
+
+class _FakeDemod:
+    def __init__(self, starts, window_bits):
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.window_bits = [np.asarray(b, dtype=np.int8) for b in window_bits]
+
+
+def test_report_ber_and_throughput():
+    report = LinkReport(n_bits=1000, n_errors=10, duration_seconds=0.001)
+    assert report.ber == pytest.approx(0.01)
+    assert report.throughput_bps == pytest.approx(990_000)
+
+
+def test_report_empty():
+    report = LinkReport(n_bits=0, n_errors=0, duration_seconds=0.0)
+    assert np.isnan(report.ber)
+    assert report.throughput_bps == 0.0
+
+
+def test_align_exact_positions():
+    schedule = [_window(100, [1, 0]), _window(200, [0, 1])]
+    pairs = align_windows(schedule, [100, 200], tolerance=5)
+    assert pairs == [(0, 0), (1, 1)]
+
+
+def test_align_skips_preambles():
+    schedule = [_window(50, [1], kind="preamble"), _window(100, [1, 0])]
+    pairs = align_windows(schedule, [100], tolerance=5)
+    assert pairs == [(1, 0)]
+
+
+def test_align_tolerance_exceeded_is_lost():
+    schedule = [_window(100, [1, 0])]
+    pairs = align_windows(schedule, [200], tolerance=5)
+    assert pairs == [(0, None)]
+
+
+def test_measure_ber_counts_errors():
+    schedule = ChipSchedule(
+        chips=np.ones(1, np.int8),
+        windows=[_window(10, [1, 0, 1, 0]), _window(20, [1, 1, 1, 1])],
+    )
+    demod = _FakeDemod([10, 20], [[1, 0, 0, 0], [1, 1, 1, 1]])
+    n_bits, n_errors, n_windows, n_lost = measure_ber(schedule, demod, 3)
+    assert (n_bits, n_errors, n_windows, n_lost) == (8, 1, 2, 0)
+
+
+def test_measure_ber_lost_window_fully_errored():
+    schedule = ChipSchedule(
+        chips=np.ones(1, np.int8), windows=[_window(10, [1, 0, 1])]
+    )
+    demod = _FakeDemod([500], [[1, 0, 1]])
+    n_bits, n_errors, n_windows, n_lost = measure_ber(schedule, demod, 3)
+    assert (n_bits, n_errors, n_lost) == (3, 3, 1)
+
+
+def test_measure_ber_length_mismatch_is_lost():
+    schedule = ChipSchedule(
+        chips=np.ones(1, np.int8), windows=[_window(10, [1, 0, 1])]
+    )
+    demod = _FakeDemod([10], [[1, 0]])
+    _, n_errors, _, n_lost = measure_ber(schedule, demod, 3)
+    assert (n_errors, n_lost) == (3, 1)

@@ -1,0 +1,97 @@
+"""End-to-end system edge cases and degraded regimes."""
+
+import numpy as np
+import pytest
+
+from repro.core import LScatterSystem, SystemConfig
+
+
+def test_zero_payload_idles_cleanly():
+    config = SystemConfig(bandwidth_mhz=1.4, n_frames=1, reference_mode="genie")
+    report = LScatterSystem(config, rng=0).run(
+        payload_bits=np.zeros(0, dtype=np.int8)
+    )
+    # All windows idle at '1' and still demodulate.
+    assert report.n_bits > 0
+    assert report.ber < 1e-3
+
+
+def test_single_frame_minimum():
+    config = SystemConfig(bandwidth_mhz=1.4, n_frames=1, reference_mode="genie")
+    report = LScatterSystem(config, rng=1).run(payload_length=100)
+    # 58 data windows per half-frame; a positive sync error pushes the
+    # second half past the capture edge, so either one or two halves run.
+    assert report.n_windows in (58, 116)
+    assert report.throughput_bps == pytest.approx(0.8352e6, rel=0.02)
+
+
+def test_noise_free_mode():
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=1,
+        add_noise=False,
+        multipath=False,
+        reference_mode="genie",
+    )
+    report = LScatterSystem(config, rng=2).run(payload_length=10_000)
+    assert report.ber < 5e-4
+
+
+def test_far_link_degrades_not_crashes():
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        venue="shopping_mall",
+        n_frames=1,
+        enb_to_tag_ft=5.0,
+        tag_to_ue_ft=500.0,
+        reference_mode="genie",
+    )
+    report = LScatterSystem(config, rng=3).run(payload_length=10_000)
+    assert 0.0 <= report.ber <= 0.6
+
+
+def test_sync_error_beyond_guard_collapses():
+    guard = (128 - 72) // 2
+    inside = LScatterSystem(
+        SystemConfig(
+            bandwidth_mhz=1.4,
+            n_frames=1,
+            reference_mode="genie",
+            sync_error_samples=0,
+        ),
+        rng=4,
+    ).run(payload_length=50_000)
+    outside = LScatterSystem(
+        SystemConfig(
+            bandwidth_mhz=1.4,
+            n_frames=1,
+            reference_mode="genie",
+            sync_error_samples=2 * guard,
+        ),
+        rng=4,
+    ).run(payload_length=50_000)
+    assert outside.ber > 20 * max(inside.ber, 1e-4)
+
+
+def test_default_enb_to_ue_distance_derived():
+    config = SystemConfig(enb_to_tag_ft=7.0, tag_to_ue_ft=5.0)
+    assert config.enb_to_ue_ft == 12.0
+
+
+def test_venue_presets_accepted():
+    for venue in ("smart_home", "smart_home_nlos", "shopping_mall", "outdoor"):
+        config = SystemConfig(bandwidth_mhz=1.4, venue=venue, n_frames=1,
+                              reference_mode="genie")
+        report = LScatterSystem(config, rng=5).run(payload_length=1000)
+        assert report.n_bits > 0
+
+
+def test_structural_reflection_off():
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=1,
+        reference_mode="decoded",
+        structural_reflection_db=-200.0,
+    )
+    report = LScatterSystem(config, rng=6).run(payload_length=1000)
+    assert report.lte_block_error_rate == 0.0

@@ -1,0 +1,77 @@
+"""Generic OFDM chip-backscatter tests (the §6 genericity claim)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FadingChannel
+from repro.extensions import OfdmChipReceiver, OfdmChipTag, wifi_layout
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+from repro.wifi import WifiReceiver, WifiTransmitter
+
+
+@pytest.fixture(scope="module")
+def packet():
+    return WifiTransmitter(12.0, rng=0).transmit(psdu_bytes=400)
+
+
+@pytest.fixture(scope="module")
+def layout(packet):
+    return wifi_layout(packet.samples, packet.n_data_symbols)
+
+
+def test_layout_geometry(packet, layout):
+    assert layout.fft_size == 64
+    assert layout.n_chips == 48
+    assert layout.chip_offset == 8
+    # Data symbols only (preamble + SIGNAL skipped).
+    assert layout.n_symbols == packet.n_data_symbols
+
+
+def test_capacity(layout):
+    tag = OfdmChipTag(layout)
+    assert tag.capacity_bits() == (layout.n_symbols - 1) * 48
+
+
+def test_roundtrip_clean(packet, layout):
+    rng = make_rng(1)
+    tag = OfdmChipTag(layout)
+    payload = rng.integers(0, 2, size=tag.capacity_bits()).astype(np.int8)
+    hybrid, used = tag.modulate(packet.samples, payload)
+    got = OfdmChipReceiver(layout).demodulate(hybrid, packet.samples, used)
+    assert np.array_equal(got, payload[:used])
+
+
+def test_roundtrip_with_channel_and_noise(packet, layout):
+    rng = make_rng(2)
+    tag = OfdmChipTag(layout)
+    payload = rng.integers(0, 2, size=1000).astype(np.int8)
+    hybrid, used = tag.modulate(packet.samples, payload)
+    channel = FadingChannel.rician(k_db=15.0, n_taps=2, rng=rng)
+    received = awgn(channel.apply(hybrid), 25.0, rng)
+    got = OfdmChipReceiver(layout).demodulate(received, packet.samples, used)
+    assert np.mean(got != payload[:used]) < 0.01
+
+
+def test_wifi_preamble_survives_modulation(packet, layout):
+    """The analogue of challenge C1 on WiFi: PLCP must stay decodable."""
+    rng = make_rng(3)
+    tag = OfdmChipTag(layout)
+    payload = rng.integers(0, 2, size=tag.capacity_bits()).astype(np.int8)
+    hybrid, _ = tag.modulate(packet.samples, payload)
+    assert np.array_equal(hybrid[: 320 + 80], packet.samples[: 320 + 80])
+
+
+def test_chip_rate_on_air_near_12mbps(layout):
+    rate = 48 / 4e-6
+    assert rate == pytest.approx(12e6)
+
+
+def test_ambient_wifi_rate_still_occupancy_bound():
+    """Chip modulation does not fix WiFi's burstiness: effective rate is
+    occupancy x on-air rate, still below continuous LTE at 20 MHz."""
+    from repro.core.link_budget import LScatterLinkModel
+
+    on_air = 48 / 4e-6
+    effective = 0.45 * on_air  # a busy evening's occupancy
+    assert effective < LScatterLinkModel(20.0).raw_bit_rate_bps

@@ -1,0 +1,114 @@
+"""Link-layer framing and ARQ tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.link import (
+    BitErrorChannel,
+    SelectiveRepeatArq,
+    StopAndWaitArq,
+    frame_payload,
+    parse_frame,
+)
+from repro.utils.rng import make_rng
+
+
+def test_frame_roundtrip():
+    payload = make_rng(0).integers(0, 2, size=200).astype(np.int8)
+    frame = parse_frame(frame_payload(42, payload))
+    assert frame.valid
+    assert frame.sequence == 42
+    assert np.array_equal(frame.payload, payload)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sequence=st.integers(min_value=0, max_value=65535),
+    payload=st.lists(st.integers(0, 1), min_size=0, max_size=128),
+)
+def test_frame_roundtrip_property(sequence, payload):
+    bits = frame_payload(sequence, np.array(payload, dtype=np.int8))
+    frame = parse_frame(bits)
+    assert frame.valid
+    assert frame.sequence == sequence
+    assert frame.payload.tolist() == payload
+
+
+def test_corrupted_frame_detected():
+    payload = make_rng(1).integers(0, 2, size=100).astype(np.int8)
+    bits = frame_payload(7, payload)
+    bits[20] ^= 1
+    assert not parse_frame(bits).valid
+
+
+def test_truncated_frame_invalid():
+    assert not parse_frame(np.zeros(10, dtype=np.int8)).valid
+
+
+def test_sequence_field_bounds():
+    with pytest.raises(ValueError):
+        frame_payload(1 << 16, np.zeros(4, dtype=np.int8))
+
+
+def test_channel_flips_at_target_rate():
+    channel = BitErrorChannel(0.05, rng=0)
+    bits = np.zeros(100_000, dtype=np.int8)
+    out = channel.transmit(bits)
+    assert np.mean(out) == pytest.approx(0.05, abs=0.005)
+
+
+def test_channel_invalid_ber():
+    with pytest.raises(ValueError):
+        BitErrorChannel(1.5)
+
+
+@pytest.mark.parametrize("arq_cls", [StopAndWaitArq, SelectiveRepeatArq])
+def test_arq_delivers_exactly_over_clean_channel(arq_cls):
+    payload = make_rng(2).integers(0, 2, size=10_000).astype(np.int8)
+    got, report = arq_cls().deliver(payload, BitErrorChannel(0.0, rng=3))
+    assert np.array_equal(got, payload)
+    assert report.retransmission_overhead == 0.0
+
+
+@pytest.mark.parametrize("arq_cls", [StopAndWaitArq, SelectiveRepeatArq])
+def test_arq_delivers_over_lossy_channel(arq_cls):
+    payload = make_rng(4).integers(0, 2, size=20_000).astype(np.int8)
+    got, report = arq_cls().deliver(payload, BitErrorChannel(1e-3, rng=5))
+    assert np.array_equal(got, payload)
+    assert report.retransmission_overhead > 0.5  # ~2/3 frame loss at 1e-3
+
+
+def test_overhead_matches_frame_loss_theory():
+    # P(frame ok) = (1-ber)^bits; retries ~ geometric with that success.
+    ber = 5e-4
+    mtu = 1024
+    payload = make_rng(6).integers(0, 2, size=100_000).astype(np.int8)
+    _, report = StopAndWaitArq(mtu_bits=mtu).deliver(
+        payload, BitErrorChannel(ber, rng=7)
+    )
+    p_ok = (1 - ber) ** (mtu + 48)
+    expected_overhead = 1 / p_ok - 1
+    assert report.retransmission_overhead == pytest.approx(
+        expected_overhead, rel=0.35
+    )
+
+
+def test_selective_repeat_uses_fewer_rounds():
+    payload = make_rng(8).integers(0, 2, size=60_000).astype(np.int8)
+    _, sw = StopAndWaitArq().deliver(payload, BitErrorChannel(5e-4, rng=9))
+    _, sr = SelectiveRepeatArq(window=16).deliver(
+        payload, BitErrorChannel(5e-4, rng=9)
+    )
+    assert sr.rounds < sw.rounds / 4
+
+
+def test_smaller_mtu_wins_at_high_ber():
+    payload = make_rng(10).integers(0, 2, size=30_000).astype(np.int8)
+    _, small = StopAndWaitArq(mtu_bits=256, max_retries=500).deliver(
+        payload, BitErrorChannel(1.5e-3, rng=11)
+    )
+    _, large = StopAndWaitArq(mtu_bits=2048, max_retries=500).deliver(
+        payload, BitErrorChannel(1.5e-3, rng=11)
+    )
+    assert small.efficiency > large.efficiency

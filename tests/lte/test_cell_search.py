@@ -1,0 +1,71 @@
+"""Cell-search tests."""
+
+import numpy as np
+import pytest
+
+from repro.lte import CellConfig, LteTransmitter, cell_search
+from repro.lte.cell_search import correlate_pss
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def capture():
+    cell = CellConfig(n_id_1=23, n_id_2=1)
+    return LteTransmitter(1.4, cell=cell, rng=0).transmit(2)
+
+
+def test_correlation_peaks_at_pss(capture):
+    metric = correlate_pss(capture.samples, capture.params, 1)
+    peak = int(np.argmax(metric))
+    assert peak in (
+        capture.params.useful_start(0, 6),
+        capture.params.useful_start(10, 6),
+        capture.params.useful_start(0, 6) + capture.params.samples_per_frame,
+        capture.params.useful_start(10, 6) + capture.params.samples_per_frame,
+    )
+
+
+def test_wrong_root_correlates_weakly(capture):
+    right = correlate_pss(capture.samples, capture.params, 1).max()
+    wrong = correlate_pss(capture.samples, capture.params, 0).max()
+    assert right > 1.5 * wrong
+
+
+def test_full_search_identifies_cell(capture):
+    result = cell_search(capture.samples, capture.params)
+    assert result.n_id_2 == 1
+    assert result.n_id_1 == 23
+    assert result.cell_id == 3 * 23 + 1
+
+
+def test_frame_start_with_offset(capture):
+    shifted = np.concatenate([np.zeros(777, complex), capture.samples])
+    result = cell_search(shifted, capture.params)
+    half = capture.params.samples_per_frame // 2
+    assert (result.frame_start - 777) % half == 0
+
+
+def test_search_survives_noise(capture):
+    rng = make_rng(1)
+    noisy = awgn(capture.samples, 0.0, rng)  # 0 dB SNR
+    result = cell_search(noisy, capture.params)
+    assert (result.n_id_2, result.n_id_1) == (1, 23)
+
+
+def test_search_survives_phase_rotation(capture):
+    rotated = capture.samples * np.exp(1j * 1.2)
+    result = cell_search(rotated, capture.params)
+    assert (result.n_id_2, result.n_id_1) == (1, 23)
+
+
+def test_search_on_short_capture_raises(capture):
+    with pytest.raises(ValueError):
+        correlate_pss(np.zeros(10, complex), capture.params, 0)
+
+
+def test_all_three_roots_detectable():
+    for nid2 in (0, 1, 2):
+        cap = LteTransmitter(1.4, cell=CellConfig(n_id_2=nid2), rng=nid2).transmit(1)
+        result = cell_search(cap.samples, cap.params)
+        assert result.n_id_2 == nid2

@@ -1,0 +1,70 @@
+"""CFO estimation/correction tests."""
+
+import numpy as np
+import pytest
+
+from repro.lte import LteTransmitter
+from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return LteTransmitter(1.4, rng=0).transmit(1)
+
+
+def test_apply_cfo_rotates_spectrum(capture):
+    fs = capture.params.sample_rate_hz
+    impaired = apply_cfo(capture.samples, 1000.0, fs)
+    # Power is preserved; samples rotate.
+    assert np.mean(np.abs(impaired) ** 2) == pytest.approx(
+        np.mean(np.abs(capture.samples) ** 2)
+    )
+    assert not np.allclose(impaired, capture.samples)
+
+
+@pytest.mark.parametrize("cfo_hz", [-2000.0, -340.0, 150.0, 680.0, 3000.0])
+def test_estimate_recovers_offset(capture, cfo_hz):
+    fs = capture.params.sample_rate_hz
+    impaired = apply_cfo(capture.samples, cfo_hz, fs)
+    estimated = estimate_cfo(impaired, capture.params)
+    assert estimated == pytest.approx(cfo_hz, abs=5.0)
+
+
+def test_estimate_with_noise(capture):
+    fs = capture.params.sample_rate_hz
+    rng = make_rng(1)
+    impaired = awgn(apply_cfo(capture.samples, 500.0, fs), 10.0, rng)
+    estimated = estimate_cfo(impaired, capture.params)
+    assert estimated == pytest.approx(500.0, abs=30.0)
+
+
+def test_correct_inverts_apply(capture):
+    fs = capture.params.sample_rate_hz
+    impaired = apply_cfo(capture.samples, 777.0, fs)
+    restored = correct_cfo(impaired, 777.0, fs)
+    assert np.allclose(restored, capture.samples, atol=1e-12)
+
+
+def test_zero_cfo_estimates_near_zero(capture):
+    assert abs(estimate_cfo(capture.samples, capture.params)) < 2.0
+
+
+def test_short_capture_rejected(capture):
+    with pytest.raises(ValueError):
+        estimate_cfo(capture.samples[:10], capture.params)
+
+
+def test_end_to_end_with_cfo():
+    """The system corrects a realistic UE crystal error transparently."""
+    from repro.core import LScatterSystem, SystemConfig
+
+    clean = SystemConfig(bandwidth_mhz=1.4, n_frames=2, reference_mode="decoded")
+    offset = SystemConfig(
+        bandwidth_mhz=1.4, n_frames=2, reference_mode="decoded", ue_cfo_ppm=0.5
+    )
+    report_clean = LScatterSystem(clean, rng=2).run(payload_length=30_000)
+    report_cfo = LScatterSystem(offset, rng=2).run(payload_length=30_000)
+    assert report_cfo.lte_block_error_rate == 0.0
+    assert report_cfo.ber < report_clean.ber + 5e-4

@@ -1,0 +1,64 @@
+"""Channel-estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FadingChannel
+from repro.lte import CellConfig, LteTransmitter
+from repro.lte.channel_est import estimate_channel
+from repro.lte.ofdm import demodulate_frame
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+
+
+def _observed_grid(gain=1.0, fading=None, snr_db=None, seed=0):
+    cell = CellConfig(n_id_1=3, n_id_2=0)
+    capture = LteTransmitter(1.4, cell=cell, rng=seed).transmit(1)
+    samples = capture.samples * gain
+    if fading is not None:
+        samples = fading.apply(samples)
+    if snr_db is not None:
+        samples = awgn(samples, snr_db, make_rng(seed + 1))
+    grid = demodulate_frame(capture.params, samples)
+    return capture, grid
+
+
+def test_flat_gain_recovered():
+    capture, grid = _observed_grid(gain=0.5 * np.exp(1j * 0.7))
+    estimate = estimate_channel(grid, capture.cell.cell_id, capture.params)
+    assert np.allclose(estimate.gains, 0.5 * np.exp(1j * 0.7), atol=1e-6)
+
+
+def test_equalization_restores_data():
+    capture, grid = _observed_grid(gain=2.0 * np.exp(-1j * 1.1))
+    estimate = estimate_channel(grid, capture.cell.cell_id, capture.params)
+    equalized = estimate.equalize(grid)
+    assert np.allclose(equalized, capture.frames[0].grid.values, atol=1e-6)
+
+
+def test_noise_variance_estimate_tracks_snr():
+    capture, grid_clean = _observed_grid(snr_db=30.0)
+    _, grid_noisy = _observed_grid(snr_db=10.0)
+    est_clean = estimate_channel(grid_clean, capture.cell.cell_id, capture.params)
+    est_noisy = estimate_channel(grid_noisy, capture.cell.cell_id, capture.params)
+    assert est_noisy.noise_variance > 10 * est_clean.noise_variance
+
+
+def test_multipath_equalization_low_evm():
+    fading = FadingChannel.rician(k_db=8.0, n_taps=3, rng=make_rng(5))
+    capture, grid = _observed_grid(fading=fading, snr_db=35.0)
+    estimate = estimate_channel(grid, capture.cell.cell_id, capture.params)
+    equalized = estimate.equalize(grid)
+    reference = capture.frames[0].grid.values
+    mask = np.abs(reference) > 0
+    evm = np.sqrt(
+        np.sum(np.abs(equalized[mask] - reference[mask]) ** 2)
+        / np.sum(np.abs(reference[mask]) ** 2)
+    )
+    assert evm < 0.25
+
+
+def test_wrong_grid_shape_rejected():
+    capture, _ = _observed_grid()
+    with pytest.raises(ValueError):
+        estimate_channel(np.zeros((10, 72), complex), 0, capture.params)

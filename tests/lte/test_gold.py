@@ -1,0 +1,62 @@
+"""Gold pseudo-random sequence tests."""
+
+import numpy as np
+import pytest
+
+from repro.lte.gold import gold_qpsk, gold_sequence
+
+
+def test_output_is_binary():
+    bits = gold_sequence(0xABCDE, 1000)
+    assert set(np.unique(bits)) <= {0, 1}
+
+
+def test_deterministic():
+    assert np.array_equal(gold_sequence(123, 64), gold_sequence(123, 64))
+
+
+def test_different_seeds_differ():
+    a = gold_sequence(1, 256)
+    b = gold_sequence(2, 256)
+    assert not np.array_equal(a, b)
+
+
+def test_prefix_property():
+    # Requesting a longer run extends the same sequence.
+    short = gold_sequence(77, 100)
+    long = gold_sequence(77, 300)
+    assert np.array_equal(long[:100], short)
+
+
+def test_balance():
+    # A good PN sequence is nearly balanced.
+    bits = gold_sequence(0x5A5A5, 10_000)
+    assert abs(bits.mean() - 0.5) < 0.02
+
+
+def test_low_autocorrelation():
+    bits = 1.0 - 2.0 * gold_sequence(0x1234, 4096).astype(float)
+    corr = np.fft.ifft(np.abs(np.fft.fft(bits)) ** 2).real / len(bits)
+    assert np.max(np.abs(corr[1:])) < 0.08
+
+
+def test_zero_length():
+    assert len(gold_sequence(1, 0)) == 0
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ValueError):
+        gold_sequence(1, -5)
+
+
+def test_qpsk_unit_power():
+    symbols = gold_qpsk(0x999, 500)
+    assert np.allclose(np.abs(symbols), 1.0)
+    assert len(symbols) == 500
+
+
+def test_qpsk_uses_consecutive_bit_pairs():
+    bits = gold_sequence(42, 4).astype(float)
+    symbols = gold_qpsk(42, 2)
+    expected0 = ((1 - 2 * bits[0]) + 1j * (1 - 2 * bits[1])) / np.sqrt(2)
+    assert symbols[0] == pytest.approx(expected0)

@@ -1,0 +1,110 @@
+"""PBCH / MIB tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FadingChannel
+from repro.lte import CellConfig, LteReceiver, LteTransmitter
+from repro.lte.params import LteParams
+from repro.lte.pbch import (
+    Mib,
+    decode_mib,
+    encode_mib,
+    pbch_capacity_bits,
+    pbch_positions,
+)
+from repro.lte.resource_grid import ReKind, symbol_index
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+
+
+def test_mib_bits_roundtrip():
+    mib = Mib(bandwidth_mhz=10.0, system_frame_number=517)
+    assert Mib.from_bits(mib.to_bits()) == mib
+
+
+def test_mib_sfn_wraps_at_1024():
+    mib = Mib(bandwidth_mhz=5.0, system_frame_number=1024 + 7)
+    assert Mib.from_bits(mib.to_bits()).system_frame_number == 7
+
+
+def test_positions_in_centre_band():
+    params = LteParams.from_bandwidth(10.0)
+    for slot, sym, cols in pbch_positions(params, cell_id=3):
+        assert slot == 1
+        assert np.all(cols >= params.n_subcarriers // 2 - 36)
+        assert np.all(cols < params.n_subcarriers // 2 + 36)
+
+
+def test_positions_avoid_crs_on_pilot_symbols():
+    params = LteParams.from_bandwidth(1.4)
+    triples = {sym: cols for _, sym, cols in pbch_positions(params, 0)}
+    # Symbols 0/1 lose the pilot comb; 2/3 keep the full 72.
+    assert len(triples[0]) < 72
+    assert len(triples[2]) == 72
+
+
+def test_encode_decode_clean():
+    params = LteParams.from_bandwidth(1.4)
+    mib = Mib(bandwidth_mhz=1.4, system_frame_number=42)
+    symbols = encode_mib(mib, params, cell_id=7)
+    assert len(symbols) * 2 == pbch_capacity_bits(params, 7)
+    decoded, ok = decode_mib(symbols, params, cell_id=7)
+    assert ok and decoded == mib
+
+
+def test_decode_with_noise():
+    params = LteParams.from_bandwidth(1.4)
+    mib = Mib(bandwidth_mhz=1.4, system_frame_number=999)
+    symbols = encode_mib(mib, params, cell_id=11)
+    rng = make_rng(0)
+    noisy = symbols + 0.3 * (
+        rng.standard_normal(len(symbols)) + 1j * rng.standard_normal(len(symbols))
+    )
+    decoded, ok = decode_mib(noisy, params, cell_id=11)
+    assert ok and decoded == mib
+
+
+def test_wrong_cell_scrambling_fails_crc():
+    params = LteParams.from_bandwidth(1.4)
+    symbols = encode_mib(Mib(1.4, 0), params, cell_id=5)
+    _, ok = decode_mib(symbols, params, cell_id=6)
+    assert not ok
+
+
+def test_frame_carries_pbch():
+    capture = LteTransmitter(1.4, rng=0).transmit(1)
+    kinds = capture.frames[0].grid.kinds
+    row = symbol_index(1, 2)
+    assert np.sum(kinds[row] == ReKind.PBCH) == 72
+
+
+def test_ue_bootstraps_from_pbch():
+    """Full chain: the UE reads bandwidth and SFN off the air."""
+    cell = CellConfig(n_id_1=9, n_id_2=1)
+    capture = LteTransmitter(5.0, cell=cell, rng=1).transmit(3)
+    rx = LteReceiver(capture.params, cell)
+    for f in range(3):
+        n = capture.params.samples_per_frame
+        mib, ok = rx.decode_mib(capture.samples[f * n : (f + 1) * n])
+        assert ok
+        assert mib.bandwidth_mhz == 5.0
+        assert mib.system_frame_number == f
+
+
+def test_mib_survives_channel_and_backscatter():
+    """Critical-information check extended to the PBCH."""
+    from repro.core import LScatterSystem, SystemConfig
+
+    config = SystemConfig(
+        bandwidth_mhz=1.4, n_frames=2, reference_mode="decoded"
+    )
+    report = LScatterSystem(config, rng=2).run(
+        payload_length=20_000, artifacts=True
+    )
+    artifacts = report.extras["artifacts"]
+    rx = LteReceiver(config.params, config.cell)
+    n = config.params.samples_per_frame
+    mib, ok = rx.decode_mib(artifacts.direct_rx[:n])
+    assert ok
+    assert mib.bandwidth_mhz == 1.4

@@ -1,0 +1,107 @@
+"""PSS and SSS tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lte.pss import (
+    PSS_ROOTS,
+    pss_sequence,
+    pss_subcarrier_indices,
+    pss_time_domain,
+)
+from repro.lte.sss import detect_sss, sss_m0_m1, sss_sequence
+
+
+def test_pss_length_and_amplitude():
+    for nid2 in (0, 1, 2):
+        seq = pss_sequence(nid2)
+        assert len(seq) == 62
+        assert np.allclose(np.abs(seq), 1.0)
+
+
+def test_pss_roots_are_standard():
+    assert PSS_ROOTS == (25, 29, 34)
+
+
+def test_pss_sequences_distinct():
+    cross = abs(np.vdot(pss_sequence(0), pss_sequence(1))) / 62
+    assert cross < 0.3
+
+
+def test_pss_invalid_id():
+    with pytest.raises(ValueError):
+        pss_sequence(3)
+
+
+def test_pss_subcarriers_span_62_bins_around_dc():
+    idx = pss_subcarrier_indices(128)
+    assert len(idx) == 62
+    assert 0 not in idx
+    # Bandwidth check: 62 x 15 kHz = 0.93 MHz (paper's fixed PSS band).
+    assert 62 * 15e3 == pytest.approx(0.93e6)
+
+
+def test_pss_time_domain_identical_across_fft_sizes_after_resample():
+    # The PSS occupies the same subcarriers regardless of bandwidth, so the
+    # 128-FFT waveform equals the 2048-FFT waveform decimated by 16.
+    small = pss_time_domain(0, 128)
+    large = pss_time_domain(0, 2048)
+    assert np.allclose(large[::16] * np.sqrt(128 / 2048) * 16, small, atol=1e-9)
+
+
+def test_pss_correlation_peak_at_zero_lag():
+    wave = pss_time_domain(1, 256)
+    corr = np.abs(np.fft.ifft(np.fft.fft(wave) * np.conj(np.fft.fft(wave))))
+    assert np.argmax(corr) == 0
+
+
+def test_sss_m0_m1_in_range():
+    for nid1 in (0, 37, 167):
+        m0, m1 = sss_m0_m1(nid1)
+        assert 0 <= m0 < 31
+        assert 0 <= m1 < 31
+        assert m0 != m1
+
+
+def test_sss_values_are_pm1():
+    seq = sss_sequence(10, 1, 0)
+    assert set(np.unique(seq)) <= {-1, 1}
+    assert len(seq) == 62
+
+
+def test_sss_subframes_differ():
+    a = sss_sequence(5, 0, 0)
+    b = sss_sequence(5, 0, 5)
+    assert not np.array_equal(a, b)
+
+
+def test_sss_invalid_subframe():
+    with pytest.raises(ValueError):
+        sss_sequence(0, 0, 3)
+
+
+def test_sss_detect_exact():
+    seq = sss_sequence(42, 2, 5).astype(complex)
+    nid1, subframe, _ = detect_sss(seq, 2)
+    assert (nid1, subframe) == (42, 5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nid1=st.integers(min_value=0, max_value=167),
+    nid2=st.integers(min_value=0, max_value=2),
+    subframe=st.sampled_from([0, 5]),
+)
+def test_sss_detect_roundtrip(nid1, nid2, subframe):
+    observed = sss_sequence(nid1, nid2, subframe).astype(complex)
+    got1, got_sf, _ = detect_sss(observed, nid2)
+    assert (got1, got_sf) == (nid1, subframe)
+
+
+def test_sss_detect_with_noise():
+    rng = np.random.default_rng(0)
+    observed = sss_sequence(99, 1, 0).astype(complex)
+    observed = observed + 0.3 * (rng.standard_normal(62) + 1j * rng.standard_normal(62))
+    nid1, subframe, _ = detect_sss(observed, 1)
+    assert (nid1, subframe) == (99, 0)

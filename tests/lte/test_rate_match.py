@@ -1,0 +1,82 @@
+"""Rate-matching tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lte.coding import rate_match, rate_recover
+from repro.utils.rng import make_rng
+
+
+def test_identity_length_is_permutation():
+    rng = make_rng(0)
+    coded = rng.integers(0, 2, size=96).astype(np.int8)
+    matched = rate_match(coded, 96)
+    # Same multiset of bits (it's a pure permutation at equal length).
+    assert sorted(matched.tolist()) == sorted(coded.tolist())
+
+
+def test_puncturing_shortens():
+    coded = make_rng(1).integers(0, 2, size=300).astype(np.int8)
+    assert len(rate_match(coded, 200)) == 200
+
+
+def test_repetition_extends():
+    coded = make_rng(2).integers(0, 2, size=96).astype(np.int8)
+    out = rate_match(coded, 300)
+    assert len(out) == 300
+    # The wrap repeats the circular buffer exactly.
+    assert np.array_equal(out[:96], out[96:192])
+
+
+def test_recover_roundtrip_soft():
+    rng = make_rng(3)
+    coded = rng.integers(0, 2, size=120).astype(np.int8)
+    matched = rate_match(coded, 120)
+    llrs = 2.0 * (1.0 - 2.0 * matched.astype(float))
+    recovered = rate_recover(llrs, 120)
+    hard = (recovered < 0).astype(np.int8)
+    assert np.array_equal(hard, coded)
+
+
+def test_recover_accumulates_repetitions():
+    coded = make_rng(4).integers(0, 2, size=60).astype(np.int8)
+    matched = rate_match(coded, 180)  # 3x repetition
+    llrs = 1.0 - 2.0 * matched.astype(float)
+    recovered = rate_recover(llrs, 60)
+    # Chase combining triples the magnitude.
+    assert np.allclose(np.abs(recovered), 3.0)
+
+
+def test_recover_zeroes_punctured_positions():
+    coded = make_rng(5).integers(0, 2, size=300).astype(np.int8)
+    matched = rate_match(coded, 100)
+    llrs = 1.0 - 2.0 * matched.astype(float)
+    recovered = rate_recover(llrs, 300)
+    assert np.sum(recovered == 0.0) == 200
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_triplets=st.integers(min_value=2, max_value=60),
+    target_factor=st.floats(min_value=0.4, max_value=3.0),
+)
+def test_roundtrip_property(n_triplets, target_factor):
+    rng = make_rng(n_triplets)
+    coded = rng.integers(0, 2, size=3 * n_triplets).astype(np.int8)
+    target = max(int(len(coded) * target_factor), 1)
+    matched = rate_match(coded, target)
+    llrs = 1.0 - 2.0 * matched.astype(float)
+    recovered = rate_recover(llrs, len(coded))
+    hard = (recovered < 0).astype(np.int8)
+    transmitted = recovered != 0.0
+    assert np.array_equal(hard[transmitted], coded[transmitted])
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        rate_match(np.zeros(4, dtype=np.int8), 10)  # not multiple of 3
+    with pytest.raises(ValueError):
+        rate_match(np.zeros(6, dtype=np.int8), 0)
+    with pytest.raises(ValueError):
+        rate_recover(np.zeros(10), 10)  # coded length not multiple of 3

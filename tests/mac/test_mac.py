@@ -1,0 +1,70 @@
+"""Multi-tag MAC tests."""
+
+import numpy as np
+import pytest
+
+from repro.mac import (
+    SlottedAlohaScheme,
+    TdmaScheme,
+    simulate_contention,
+    two_tag_collision,
+)
+
+
+def test_tdma_never_collides():
+    powers = {f"tag{i}": -40.0 for i in range(5)}
+    report = simulate_contention(powers, TdmaScheme(), 1000, rng=0)
+    assert report.collision_fraction == 0.0
+    assert report.aggregate_success_rate == 1.0
+
+
+def test_tdma_fair_share():
+    powers = {f"tag{i}": -40.0 for i in range(4)}
+    report = simulate_contention(powers, TdmaScheme(), 1000, rng=1)
+    shares = list(report.per_tag_success.values())
+    assert max(shares) - min(shares) <= 1
+
+
+def test_aloha_throughput_near_1_over_e():
+    powers = {f"tag{i}": -40.0 for i in range(8)}
+    report = simulate_contention(
+        powers, SlottedAlohaScheme(), 20_000, capture_threshold_db=1e9, rng=2
+    )
+    # Slotted ALOHA at p=1/n: throughput -> (1-1/n)^(n-1) ~ 0.39 for n=8.
+    assert report.aggregate_success_rate == pytest.approx(0.39, abs=0.03)
+
+
+def test_aloha_capture_helps_strong_tag():
+    powers = {"strong": -30.0, "weak": -55.0}
+    no_capture = simulate_contention(
+        powers, SlottedAlohaScheme(p=0.5), 10_000, capture_threshold_db=1e9, rng=3
+    )
+    with_capture = simulate_contention(
+        powers, SlottedAlohaScheme(p=0.5), 10_000, capture_threshold_db=10.0, rng=3
+    )
+    assert (
+        with_capture.per_tag_success["strong"]
+        > 1.5 * no_capture.per_tag_success["strong"]
+    )
+    assert with_capture.collision_fraction < no_capture.collision_fraction
+
+
+def test_empty_tag_set_rejected():
+    with pytest.raises(ValueError):
+        simulate_contention({}, TdmaScheme(), 10)
+
+
+def test_iq_collision_equal_power_destroys():
+    outcome = two_tag_collision(0.0, seed=1)
+    assert outcome.strong_tag_ber > 0.1
+
+
+def test_iq_collision_capture_at_advantage():
+    outcome = two_tag_collision(12.0, seed=1)
+    assert outcome.strong_tag_ber < 5e-3
+    assert outcome.n_bits > 0
+
+
+def test_iq_collision_monotone_in_advantage():
+    bers = [two_tag_collision(adv, seed=2).strong_tag_ber for adv in (0, 6, 15)]
+    assert bers[0] > bers[1] >= bers[2]

@@ -1,0 +1,75 @@
+"""Tag packet-framing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tag.framing import (
+    DATA_SYMBOLS_PER_PACKET,
+    PACKET_SYMBOLS,
+    depacketize,
+    packetize,
+    preamble_bits,
+    slot_plan,
+)
+from repro.utils.rng import make_rng
+
+
+def test_preamble_deterministic():
+    assert np.array_equal(preamble_bits(1200), preamble_bits(1200))
+
+
+def test_preamble_balanced():
+    bits = preamble_bits(1200)
+    assert 0.4 < bits.mean() < 0.6
+
+
+def test_packetize_pads_with_idle_ones():
+    payload = np.array([0, 1, 0], dtype=np.int8)
+    rows = packetize(payload, data_symbols=2, n_chips=4)
+    assert rows.shape == (2, 4)
+    assert np.array_equal(rows[0], [0, 1, 0, 1])
+    assert np.array_equal(rows[1], [1, 1, 1, 1])
+
+
+def test_packetize_overflow_rejected():
+    with pytest.raises(ValueError):
+        packetize(np.ones(9, dtype=np.int8), data_symbols=2, n_chips=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=0, max_size=48))
+def test_roundtrip_property(bits):
+    payload = np.array(bits, dtype=np.int8)
+    rows = packetize(payload, data_symbols=4, n_chips=12)
+    assert np.array_equal(depacketize(rows, len(payload)), payload)
+
+
+def test_depacketize_too_long_rejected():
+    rows = packetize(np.zeros(4, dtype=np.int8), 1, 8)
+    with pytest.raises(ValueError):
+        depacketize(rows, 100)
+
+
+def test_slot_plan_structure():
+    plan = slot_plan()
+    assert len(plan) == 10
+    # Sync slot loses its SSS/PSS symbols.
+    assert len(plan[0]) == 5
+    for slot_entry in plan[1:]:
+        assert len(slot_entry) == PACKET_SYMBOLS
+    # Pairs are (slot, symbol) with slot matching the list position.
+    for index, entry in enumerate(plan):
+        assert all(slot == index for slot, _sym in entry)
+
+
+def test_slot_plan_never_touches_sync_symbols():
+    for slot, sym in (pair for entry in slot_plan() for pair in entry):
+        assert not (slot == 0 and sym in (5, 6))
+
+
+def test_data_symbols_per_frame_constant():
+    # 9 full packets x 6 + 1 short packet x 4 per half-frame.
+    per_half = sum(len(e) - 1 for e in slot_plan())
+    assert per_half == 58
+    assert DATA_SYMBOLS_PER_PACKET == 6

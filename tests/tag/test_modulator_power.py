@@ -1,0 +1,93 @@
+"""Chip modulator and power-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.tag.modulator import ChipModulator, square_wave_harmonics
+from repro.tag.power import CLOCK_POWER_W, PowerBreakdown, TagPowerModel
+from repro.utils.rng import make_rng
+
+
+def test_reflect_is_elementwise_phase_flip():
+    rng = make_rng(0)
+    ambient = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+    chips = np.where(rng.random(100) < 0.5, -1, 1).astype(np.int8)
+    hybrid = ChipModulator().reflect(ambient, chips)
+    assert np.allclose(hybrid, ambient * chips)
+
+
+def test_reflect_preserves_power():
+    rng = make_rng(1)
+    ambient = rng.standard_normal(1000) + 1j * rng.standard_normal(1000)
+    chips = np.ones(1000, dtype=np.int8)
+    chips[::2] = -1
+    hybrid = ChipModulator().reflect(ambient, chips)
+    assert np.mean(np.abs(hybrid) ** 2) == pytest.approx(
+        np.mean(np.abs(ambient) ** 2)
+    )
+
+
+def test_reflect_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ChipModulator().reflect(np.zeros(5, complex), np.ones(4, np.int8))
+
+
+def test_harmonics_square_wave():
+    orders, amplitudes = square_wave_harmonics(9)
+    assert amplitudes[0] == pytest.approx(4 / np.pi)
+    assert amplitudes[1] == 0.0  # even harmonics absent
+    assert amplitudes[2] == pytest.approx(4 / (3 * np.pi))
+
+
+def test_multi_level_cancels_third_and_fifth():
+    _, amplitudes = square_wave_harmonics(9, multi_level=True)
+    assert amplitudes[2] == 0.0
+    assert amplitudes[4] == 0.0
+    assert amplitudes[6] > 0.0  # 7th remains
+
+
+def test_leakage_reduced_by_multi_level():
+    plain = ChipModulator(multi_level=False)
+    cancelled = ChipModulator(multi_level=True)
+    assert cancelled.out_of_band_leakage() < 0.3 * plain.out_of_band_leakage()
+
+
+def test_fundamental_power_fraction():
+    profile = ChipModulator().harmonic_profile()
+    # (2/pi)^2 ~ -3.9 dB: the conversion loss the link budget charges.
+    assert profile[1] == pytest.approx((2 / np.pi) ** 2)
+
+
+def test_power_anchors_from_datasheets():
+    model = TagPowerModel("cots")
+    bd14 = model.breakdown(1.4)
+    assert bd14.sync_w == pytest.approx(10e-6)
+    assert bd14.clock_w == pytest.approx(588e-6)
+    bd20 = model.breakdown(20.0)
+    assert bd20.rf_front_w == pytest.approx(57e-6)
+    assert bd20.clock_w == pytest.approx(4.5e-3)
+    assert bd20.baseband_w == pytest.approx(82e-6)
+
+
+def test_rf_switch_power_linear_in_bandwidth():
+    model = TagPowerModel()
+    assert model.breakdown(10.0).rf_front_w == pytest.approx(
+        model.breakdown(20.0).rf_front_w / 2
+    )
+
+
+def test_ring_oscillator_cheaper():
+    cots = TagPowerModel("cots").breakdown(20.0).total_w
+    ring = TagPowerModel("ring").breakdown(20.0).total_w
+    assert ring < cots / 10
+
+
+def test_total_is_component_sum():
+    bd = PowerBreakdown(sync_w=1e-6, rf_front_w=2e-6, baseband_w=3e-6, clock_w=4e-6)
+    assert bd.total_w == pytest.approx(10e-6)
+    assert bd.total_uw == pytest.approx(10.0)
+
+
+def test_unknown_clock_technology_rejected():
+    with pytest.raises(ValueError):
+        TagPowerModel("quartz-magic")

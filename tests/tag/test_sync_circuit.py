@@ -1,0 +1,90 @@
+"""Analog sync-circuit tests (envelope detector + comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.lte import CellConfig, LteTransmitter
+from repro.lte.sss import SSS_SYMBOL_IN_SLOT
+from repro.tag.envelope import EnvelopeDetector
+from repro.tag.sync_circuit import SyncCircuit
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return LteTransmitter(1.4, rng=0).transmit(8)
+
+
+def test_envelope_is_nonnegative(capture):
+    detector = EnvelopeDetector(capture.params.sample_rate_hz)
+    trace = detector.detect(capture.samples)
+    assert np.all(trace.envelope >= 0)
+
+
+def test_envelope_peaks_at_sync_symbols(capture):
+    params = capture.params
+    detector = EnvelopeDetector(params.sample_rate_hz)
+    trace = detector.detect(capture.samples)
+    # After the first frame, the envelope during the PSS should exceed
+    # the frame-wide average thanks to the sync power boost.
+    frame = params.samples_per_frame
+    pss_start = frame + params.symbol_start(0, 6)
+    pss_level = trace.envelope[pss_start + 40 : pss_start + params.symbol_length(6)].mean()
+    baseline = trace.envelope[frame : frame + params.samples_per_slot].mean()
+    assert pss_level > 1.3 * baseline
+
+
+def test_edges_appear_every_5ms(capture):
+    params = capture.params
+    rng = make_rng(1)
+    noisy = awgn(capture.samples, 25.0, rng)
+    circuit = SyncCircuit(params.sample_rate_hz, rng=rng)
+    result = circuit.process(noisy)
+    spacing = np.diff(result.edge_times)
+    assert len(result.edges) >= 10
+    assert np.allclose(spacing, 5e-3, atol=2e-4)
+
+
+def test_errors_match_paper_band(capture):
+    params = capture.params
+    rng = make_rng(2)
+    noisy = awgn(capture.samples, 25.0, rng)
+    circuit = SyncCircuit(params.sample_rate_hz, rng=rng)
+    result = circuit.process(noisy)
+    sync_start = params.symbol_start(0, SSS_SYMBOL_IN_SLOT) / params.sample_rate_hz
+    true_times = sync_start + 5e-3 * np.arange(16)
+    errors = result.errors_vs(true_times, tolerance_seconds=2e-4) * 1e6
+    assert len(errors) >= 10
+    # Paper Fig. 31: errors are tens of microseconds, positive (delay).
+    assert 15.0 < np.mean(errors) < 55.0
+    assert np.std(errors) < 12.0
+
+
+def test_warmup_suppresses_startup_edges(capture):
+    params = capture.params
+    circuit = SyncCircuit(params.sample_rate_hz, rng=0, warmup_seconds=12e-3)
+    result = circuit.process(capture.samples)
+    assert np.all(result.edges >= int(12e-3 * params.sample_rate_hz))
+
+
+def test_comparator_delay_shifts_edges(capture):
+    params = capture.params
+    fast = SyncCircuit(
+        params.sample_rate_hz, rng=0, propagation_delay_seconds=0.0, jitter_seconds=0.0
+    ).process(capture.samples)
+    slow = SyncCircuit(
+        params.sample_rate_hz, rng=0, propagation_delay_seconds=50e-6, jitter_seconds=0.0
+    ).process(capture.samples)
+    n = min(len(fast.edges), len(slow.edges))
+    delta = (slow.edges[:n] - fast.edges[:n]) / params.sample_rate_hz
+    assert np.allclose(delta, 50e-6, atol=2e-6)
+
+
+def test_no_edges_in_pure_noise():
+    rng = make_rng(3)
+    fs = 1.92e6
+    noise = (rng.standard_normal(80_000) + 1j * rng.standard_normal(80_000)) * 1e-6
+    result = SyncCircuit(fs, rng=rng).process(noise)
+    # Flat noise never exceeds 1.6x its own average for long.
+    assert len(result.edges) <= 2

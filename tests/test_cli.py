@@ -1,0 +1,45 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_command(capsys):
+    code = main(
+        [
+            "simulate",
+            "--bandwidth",
+            "1.4",
+            "--frames",
+            "1",
+            "--payload",
+            "2000",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "throughput" in out
+    assert "BER" in out
+
+
+def test_survey_command(capsys):
+    assert main(["survey", "--venue", "office"]) == 0
+    out = capsys.readouterr().out
+    assert "lte" in out and "wifi" in out and "lora" in out
+
+
+def test_experiment_list(capsys):
+    assert main(["experiment"]) == 0
+    out = capsys.readouterr().out
+    assert "fig23" in out and "power" in out
+
+
+def test_experiment_runs_table1(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "LScatter" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, spanning module boundaries:
+OFDM transparency, schedule safety, link-model monotonicity, and the
+end-to-end "critical information" guarantee.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.link import LinkBudget
+from repro.core.link_budget import LScatterLinkModel
+from repro.lte.modulation import BITS_PER_SYMBOL, demodulate_hard, modulate
+from repro.lte.ofdm import demodulate_symbol, modulate_symbol
+from repro.lte.params import LteParams
+from repro.tag.controller import TagController
+from repro.utils.rng import make_rng
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_ofdm_transparent_for_any_subcarriers(seed):
+    """IFFT+CP then FFT is exact for arbitrary complex subcarriers."""
+    params = LteParams.from_bandwidth(1.4)
+    rng = make_rng(seed)
+    values = rng.standard_normal(72) + 1j * rng.standard_normal(72)
+    for sym in (0, 3):
+        samples = modulate_symbol(params, values, sym)
+        recovered = demodulate_symbol(params, samples, sym)
+        assert np.allclose(recovered, values, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    error=st.integers(min_value=-28, max_value=28),
+    payload_len=st.integers(min_value=0, max_value=5000),
+)
+def test_schedule_never_touches_sync_region(error, payload_len):
+    """For any in-guard timing error and payload, the PSS/SSS chips stay +1."""
+    params = LteParams.from_bandwidth(1.4)
+    controller = TagController(params, rng=0)
+    payload = make_rng(1).integers(0, 2, size=payload_len).astype(np.int8)
+    schedule = controller.build_schedule(
+        controller.genie_timing(0, error), params.samples_per_frame, payload
+    )
+    half = params.samples_per_frame // 2
+    for half_index in (0, 1):
+        lo = half_index * half + params.symbol_start(0, 5)
+        hi = half_index * half + params.symbol_start(0, 6) + params.symbol_length(6)
+        assert np.all(schedule.chips[lo:hi] == 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    d1=st.floats(min_value=1.0, max_value=30.0),
+    d2a=st.floats(min_value=1.0, max_value=150.0),
+    delta=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_link_model_ber_monotone_in_distance(d1, d2a, delta):
+    model = LScatterLinkModel(20.0, LinkBudget(venue="shopping_mall"))
+    near = model.ber(d1, d2a)
+    far = model.ber(d1, d2a + delta)
+    assert far >= near - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    d1=st.floats(min_value=1.0, max_value=40.0),
+    d2=st.floats(min_value=1.0, max_value=200.0),
+)
+def test_link_prediction_internally_consistent(d1, d2):
+    model = LScatterLinkModel(20.0, LinkBudget(venue="outdoor"))
+    prediction = model.predict(d1, d2)
+    assert 0.0 <= prediction.ber <= 0.5
+    assert 0.0 <= prediction.sync_availability <= 1.0
+    assert (
+        prediction.throughput_bps
+        <= prediction.raw_bit_rate_bps + 1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scheme=st.sampled_from(sorted(BITS_PER_SYMBOL)),
+    gain_db=st.floats(min_value=-30.0, max_value=10.0),
+    phase=st.floats(min_value=-np.pi, max_value=np.pi),
+)
+def test_qam_decisions_invariant_to_known_flat_channel(scheme, gain_db, phase):
+    """Equalising by the exact channel restores any constellation."""
+    rng = make_rng(7)
+    bits = rng.integers(0, 2, size=BITS_PER_SYMBOL[scheme] * 32).astype(np.int8)
+    symbols = modulate(bits, scheme)
+    g = 10 ** (gain_db / 20) * np.exp(1j * phase)
+    equalized = (symbols * g) / g
+    assert np.array_equal(demodulate_hard(equalized, scheme), bits)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_frames=st.integers(min_value=1, max_value=3))
+def test_capture_length_always_integral_frames(n_frames):
+    from repro.lte import LteTransmitter
+
+    capture = LteTransmitter(1.4, rng=0).transmit(n_frames)
+    assert len(capture.samples) == n_frames * capture.params.samples_per_frame
+    assert len(capture.frames) == n_frames
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    ber=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_coded_ber_never_worse_than_half(ber):
+    from repro.tag.coding import hamming74_coded_ber, repetition_coded_ber
+
+    assert 0.0 <= hamming74_coded_ber(ber) <= 0.5
+    assert 0.0 <= repetition_coded_ber(ber) <= 0.5

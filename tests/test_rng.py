@@ -1,0 +1,42 @@
+"""Seeded-RNG helper tests."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def test_same_int_seed_same_stream():
+    a = make_rng(42).random(10)
+    b = make_rng(42).random(10)
+    assert np.array_equal(a, b)
+
+
+def test_string_seed_is_stable():
+    a = make_rng("hello").random(5)
+    b = make_rng("hello").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_strings_differ():
+    a = make_rng("alpha").random(5)
+    b = make_rng("beta").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    rng = np.random.default_rng(1)
+    assert make_rng(rng) is rng
+
+
+def test_spawn_streams_independent():
+    children = spawn_rngs(7, 3)
+    draws = [child.random(100) for child in children]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_deterministic():
+    a = [r.random(4) for r in spawn_rngs(9, 2)]
+    b = [r.random(4) for r in spawn_rngs(9, 2)]
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)

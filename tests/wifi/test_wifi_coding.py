@@ -1,0 +1,104 @@
+"""802.11 bit-pipeline tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wifi import coding
+from repro.utils.rng import make_rng
+
+
+def test_scrambler_involution():
+    bits = make_rng(0).integers(0, 2, size=300).astype(np.int8)
+    assert np.array_equal(coding.scramble(coding.scramble(bits)), bits)
+
+
+def test_scrambler_whitens_zeros():
+    out = coding.scramble(np.zeros(1270, dtype=np.int8))
+    assert abs(out.mean() - 0.5) < 0.05
+
+
+def test_conv_half_rate():
+    bits = make_rng(1).integers(0, 2, size=24).astype(np.int8)
+    assert len(coding.conv_encode_half(bits)) == 48
+
+
+def test_viterbi_half_noiseless():
+    rng = make_rng(2)
+    bits = rng.integers(0, 2, size=100).astype(np.int8)
+    bits[-6:] = 0  # zero tail
+    coded = coding.conv_encode_half(bits)
+    llrs = 4.0 * (1.0 - 2.0 * coded.astype(float))
+    assert np.array_equal(coding.viterbi_half(llrs, 100), bits)
+
+
+def test_viterbi_half_with_noise():
+    rng = make_rng(3)
+    bits = rng.integers(0, 2, size=400).astype(np.int8)
+    bits[-6:] = 0
+    coded = coding.conv_encode_half(bits).astype(float)
+    noisy = (1.0 - 2.0 * coded) + rng.normal(0, 0.6, len(coded))
+    decoded = coding.viterbi_half(noisy, 400)
+    assert np.mean(decoded != bits) < 0.02
+
+
+def test_puncture_34_length():
+    coded = np.arange(12, dtype=np.int8) % 2
+    out = coding.puncture(coded, 3, 4)
+    assert len(out) == 8  # 12 * (4/6)
+
+
+def test_puncture_identity_rate_half():
+    coded = make_rng(4).integers(0, 2, size=60).astype(np.int8)
+    assert np.array_equal(coding.puncture(coded, 1, 2), coded)
+
+
+def test_depuncture_restores_positions():
+    coded = make_rng(5).integers(0, 2, size=120).astype(np.int8)
+    punctured = coding.puncture(coded, 3, 4)
+    llrs = 1.0 - 2.0 * punctured.astype(float)
+    soft = coding.depuncture(llrs, 3, 4, 120)
+    transmitted = soft != 0
+    hard = (soft[transmitted] < 0).astype(np.int8)
+    assert np.array_equal(hard, coded[transmitted])
+    assert np.sum(~transmitted) == 40
+
+
+def test_punctured_decode_roundtrip():
+    rng = make_rng(6)
+    bits = rng.integers(0, 2, size=216).astype(np.int8)
+    bits[-6:] = 0
+    coded = coding.conv_encode_half(bits)
+    punctured = coding.puncture(coded, 3, 4)
+    llrs = 4.0 * (1.0 - 2.0 * punctured.astype(float))
+    soft = coding.depuncture(llrs, 3, 4, len(coded))
+    assert np.array_equal(coding.viterbi_half(soft, 216), bits)
+
+
+def test_unsupported_rate_rejected():
+    with pytest.raises(ValueError):
+        coding.puncture(np.zeros(6, dtype=np.int8), 2, 3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6))
+def test_interleaver_roundtrip(n_symbols):
+    n_cbps, n_bpsc = 96, 2  # QPSK symbol
+    rng = make_rng(n_symbols)
+    bits = rng.integers(0, 2, size=n_symbols * n_cbps).astype(np.int8)
+    out = coding.deinterleave(coding.interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+    assert np.array_equal(out, bits)
+
+
+def test_interleaver_spreads_adjacent_bits():
+    n_cbps = 192  # 16-QAM
+    bits = np.zeros(n_cbps, dtype=np.int8)
+    bits[:2] = 1  # two adjacent coded bits
+    interleaved = coding.interleave(bits, n_cbps, 4)
+    positions = np.flatnonzero(interleaved)
+    assert abs(positions[1] - positions[0]) > 4
+
+
+def test_interleaver_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        coding.interleave(np.zeros(97, dtype=np.int8), 96, 2)

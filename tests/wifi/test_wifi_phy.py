@@ -1,0 +1,96 @@
+"""802.11a/g PHY end-to-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FadingChannel
+from repro.utils.dsp import awgn
+from repro.utils.rng import make_rng
+from repro.wifi import WIFI_RATES, WifiReceiver, WifiTransmitter
+from repro.wifi.ofdm import ltf_waveform, stf_waveform
+from repro.wifi.receiver import detect_packet
+
+
+def test_preamble_lengths():
+    assert len(stf_waveform()) == 160  # 8 us
+    assert len(ltf_waveform()) == 160  # 8 us
+
+
+def test_stf_is_periodic():
+    stf = stf_waveform()
+    assert np.allclose(stf[:16], stf[16:32])
+
+
+@pytest.mark.parametrize("rate", sorted(WIFI_RATES))
+def test_roundtrip_clean(rate):
+    tx = WifiTransmitter(rate, rng=0)
+    packet = tx.transmit(psdu_bytes=120)
+    result = WifiReceiver().decode(packet.samples, ltf1_start=192)
+    assert result.detected
+    assert result.rate_mbps == rate
+    assert result.errors_against(packet.psdu_bits) == 0
+
+
+def test_detection_with_padding_and_noise():
+    rng = make_rng(1)
+    packet = WifiTransmitter(12.0, rng=rng).transmit(psdu_bytes=80)
+    signal = np.concatenate(
+        [np.zeros(333, complex), packet.samples, np.zeros(50, complex)]
+    )
+    noisy = awgn(signal, 20.0, rng)
+    start = detect_packet(noisy)
+    assert start == 333 + 192  # zeros + STF + GI2
+
+
+def test_decode_with_noise():
+    rng = make_rng(2)
+    packet = WifiTransmitter(12.0, rng=rng).transmit(psdu_bytes=100)
+    noisy = awgn(packet.samples, 18.0, rng)
+    result = WifiReceiver().decode(noisy, ltf1_start=192)
+    assert result.detected
+    assert result.errors_against(packet.psdu_bits) == 0
+
+
+def test_decode_through_flat_channel():
+    rng = make_rng(3)
+    packet = WifiTransmitter(24.0, rng=rng).transmit(psdu_bytes=60)
+    channel = 0.4 * np.exp(1j * 2.2)
+    result = WifiReceiver().decode(packet.samples * channel, ltf1_start=192)
+    assert result.detected
+    assert result.errors_against(packet.psdu_bits) == 0
+
+
+def test_decode_through_multipath():
+    rng = make_rng(4)
+    packet = WifiTransmitter(6.0, rng=rng).transmit(psdu_bytes=60)
+    fading = FadingChannel.rician(k_db=10.0, n_taps=3, rng=rng)
+    faded = awgn(fading.apply(packet.samples), 22.0, rng)
+    result = WifiReceiver().decode(faded, ltf1_start=192)
+    assert result.detected
+    assert result.errors_against(packet.psdu_bits) <= 4
+
+
+def test_no_packet_in_noise():
+    rng = make_rng(5)
+    noise = rng.standard_normal(4000) + 1j * rng.standard_normal(4000)
+    result = WifiReceiver().decode(noise)
+    assert not result.detected
+
+
+def test_symbol_duration_contrast_with_lte():
+    # The paper's C2: WiFi symbols are 4 us vs LTE's 66.7/71.4 us.
+    from repro.wifi.params import SYMBOL_SECONDS
+    from repro.lte.params import USEFUL_SYMBOL_SECONDS
+
+    assert SYMBOL_SECONDS == pytest.approx(4e-6)
+    assert USEFUL_SYMBOL_SECONDS / SYMBOL_SECONDS == pytest.approx(16.67, rel=0.01)
+
+
+def test_unsupported_rate_rejected():
+    with pytest.raises(ValueError):
+        WifiTransmitter(9.0)
+
+
+def test_non_byte_psdu_rejected():
+    with pytest.raises(ValueError):
+        WifiTransmitter(6.0).transmit(psdu_bits=np.zeros(9, dtype=np.int8))
