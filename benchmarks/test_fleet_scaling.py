@@ -1,0 +1,84 @@
+"""Fleet scaling benchmark: the shared-ambient cache earns its keep.
+
+The naive multi-tag loop regenerates the eNodeB capture (frame build +
+OFDM modulation — the dominant fixed cost at small bandwidths) once per
+tag.  The fleet path computes it once and shares it, so transmitter
+invocations drop from N to 1; this suite pins that contract (and the
+resulting wall-clock win) so a regression in the cache keying fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LScatterSystem
+from repro.fleet import AmbientCache, Deployment, FleetRunner
+from repro.lte.transmitter import LteTransmitter
+
+N_TAGS = 8
+
+
+@pytest.fixture
+def transmit_counter(monkeypatch):
+    """Count every LteTransmitter.transmit call, without changing it."""
+    calls = {"n": 0}
+    original = LteTransmitter.transmit
+
+    def counting(self, n_frames=1):
+        calls["n"] += 1
+        return original(self, n_frames)
+
+    monkeypatch.setattr(LteTransmitter, "transmit", counting)
+    return calls
+
+
+def _deployment():
+    return Deployment.ring(N_TAGS, bandwidth_mhz=1.4, n_frames=1)
+
+
+def test_shared_ambient_transmits_exactly_once(transmit_counter):
+    cache = AmbientCache()
+    report = FleetRunner(
+        _deployment(), scheme="tdma", workers=1, seed=0, cache=cache
+    ).run(payload_length=2000)
+    assert transmit_counter["n"] == 1
+    assert report.transmit_invocations == 1
+    assert report.n_tags == N_TAGS
+
+
+def test_shared_ambient_beats_naive_loop_by_3x(transmit_counter):
+    deployment = _deployment()
+
+    cache = AmbientCache()
+    FleetRunner(deployment, scheme="tdma", workers=1, seed=0, cache=cache).run(
+        payload_length=2000
+    )
+    fleet_calls = transmit_counter["n"]
+
+    transmit_counter["n"] = 0
+    for index, placement in enumerate(deployment.tags):
+        # The naive loop: one full single-tag simulation per tag, each
+        # regenerating the very same ambient capture.
+        LScatterSystem(deployment.config_for(placement), rng=index).run(
+            payload_length=2000
+        )
+    naive_calls = transmit_counter["n"]
+
+    assert naive_calls == N_TAGS
+    assert fleet_calls * 3 <= naive_calls
+
+
+def test_fleet_wall_clock_benefits_from_cache(benchmark, transmit_counter):
+    """Benchmark the fleet path; the shared capture keeps the per-round
+    transmit count at one no matter how many rounds the timer runs."""
+    cache = AmbientCache()
+
+    def one_round():
+        return FleetRunner(
+            _deployment(), scheme="tdma", workers=1, seed=0, cache=cache
+        ).run(payload_length=2000)
+
+    report = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    assert transmit_counter["n"] == 1
+    assert report.aggregate_throughput_bps > 0

@@ -5,7 +5,11 @@ Three commands:
 * ``simulate`` — run one end-to-end IQ simulation from flags;
 * ``experiment`` — regenerate a paper table/figure (same as
   ``python -m repro.experiments``);
-* ``survey`` — print the ambient-traffic survey for a venue.
+* ``survey`` — print the ambient-traffic survey for a venue;
+* ``fleet`` — multi-tag network simulation over one shared ambient cell;
+* ``report`` — write the full evaluation report.
+
+Installed as the ``repro`` console script (and ``lscatter``, its alias).
 """
 
 from __future__ import annotations
@@ -49,9 +53,32 @@ def _cmd_experiment(args):
     from repro.experiments.__main__ import main as experiments_main
 
     argv = [args.id] if args.id else ["--list"]
-    if args.seed:
+    # `is not None`, not truthiness: an explicit `--seed 0` must be passed
+    # through rather than silently dropped.
+    if args.seed is not None:
         argv += ["--seed", str(args.seed)]
     return experiments_main(argv)
+
+
+def _cmd_fleet(args):
+    from repro.fleet import Deployment, FleetRunner
+
+    deployment = Deployment.ring(
+        args.tags,
+        venue=args.venue,
+        bandwidth_mhz=args.bandwidth,
+        n_frames=args.frames,
+    )
+    runner = FleetRunner(
+        deployment, scheme=args.scheme, workers=args.workers, seed=args.seed
+    )
+    report = runner.run(payload_length=args.payload)
+    print(
+        f"FleetReport: {report.n_tags} tag(s), scheme={report.scheme}, "
+        f"{args.bandwidth} MHz ({args.venue})"
+    )
+    print(report.format_table())
+    return 0
 
 
 def _cmd_survey(args):
@@ -88,8 +115,34 @@ def build_parser():
 
     experiment = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment.add_argument("id", nargs="?", help="experiment id (omit to list)")
-    experiment.add_argument("--seed", type=int, default=0)
+    # default=None so each experiment's own default seed applies unless
+    # the user passes one explicitly (including --seed 0).
+    experiment.add_argument("--seed", type=int, default=None)
     experiment.set_defaults(func=_cmd_experiment)
+
+    fleet = sub.add_parser("fleet", help="multi-tag network simulation")
+    fleet.add_argument("--tags", type=int, default=4, help="fleet size")
+    fleet.add_argument(
+        "--scheme",
+        default="tdma",
+        choices=("tdma", "aloha", "priority"),
+        help="MAC scheme assigning half-frames to tags",
+    )
+    fleet.add_argument("--bandwidth", type=float, default=1.4)
+    fleet.add_argument("--venue", default="smart_home")
+    fleet.add_argument(
+        "--frames", type=int, default=4, help="LTE frames in the shared capture"
+    )
+    fleet.add_argument("--payload", type=int, default=20_000)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the per-tag stages (results are "
+        "bit-identical for any value)",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     survey = sub.add_parser("survey", help="ambient-traffic survey for a venue")
     survey.add_argument("--venue", default="home")

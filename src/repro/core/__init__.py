@@ -8,7 +8,7 @@ long-duration and distance-sweep experiments.
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import LinkReport, align_windows, measure_ber
-from repro.core.system import LScatterSystem
+from repro.core.system import AmbientStage, LScatterSystem
 from repro.core.link_budget import LScatterLinkModel, LinkPrediction
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "LinkReport",
     "align_windows",
     "measure_ber",
+    "AmbientStage",
     "LScatterSystem",
     "LScatterLinkModel",
     "LinkPrediction",

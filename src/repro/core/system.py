@@ -47,12 +47,31 @@ RESIDUAL_SYNC_STD_SECONDS = 2.5e-6
 class RunArtifacts:
     """Intermediate waveforms, for examples and debugging."""
 
-    capture: object = None
-    schedule: object = None
-    demod: object = None
-    direct_rx: np.ndarray = None
-    shifted_rx: np.ndarray = None
-    sync_result: object = None
+    capture: object | None = None
+    schedule: object | None = None
+    demod: object | None = None
+    direct_rx: np.ndarray | None = None
+    shifted_rx: np.ndarray | None = None
+    sync_result: object | None = None
+
+
+@dataclass
+class AmbientStage:
+    """Output of the reusable ambient half of a simulation.
+
+    The eNodeB capture and its unit-power normalisation are deterministic
+    per ``(bandwidth, cell, n_frames, transmitter seed)`` and independent
+    of any tag, so one :class:`AmbientStage` can feed many per-tag stages
+    (see :mod:`repro.fleet.ambient`, which also shares it across worker
+    processes through a read-only memory map).
+    """
+
+    capture: object
+    unit: np.ndarray
+
+    @property
+    def n_samples(self):
+        return len(self.unit)
 
 
 class LScatterSystem:
@@ -134,15 +153,45 @@ class LScatterSystem:
                 pieces.append(chunk * scale)
         return np.concatenate(pieces)
 
+    # -- ambient stage ----------------------------------------------------------
+
+    def prepare_ambient(self, rng=None):
+        """Run the ambient stage only: transmit + normalise.
+
+        Returns an :class:`AmbientStage` holding the eNodeB capture and its
+        unit-mean-power samples.  ``rng`` seeds the transmitter; the result
+        can be passed to :meth:`run` (``ambient=``) and reused across many
+        per-tag simulations.
+        """
+        config = self.config
+        tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng)
+        capture = tx.transmit(config.n_frames)
+        mean_power = float(np.mean(np.abs(capture.samples) ** 2))
+        unit = capture.samples / np.sqrt(mean_power)
+        return AmbientStage(capture=capture, unit=unit)
+
     # -- main entry --------------------------------------------------------------
 
-    def run(self, payload_bits=None, payload_length=20000, artifacts=False):
+    def run(
+        self,
+        payload_bits=None,
+        payload_length=20000,
+        artifacts=False,
+        ambient=None,
+        owned_half_frames=None,
+    ):
         """Simulate one capture; returns a :class:`LinkReport`.
 
         ``payload_bits`` may be an explicit bit array; otherwise
         ``payload_length`` random bits are generated.  With
         ``artifacts=True`` the report's ``extras['artifacts']`` carries the
         intermediate waveforms.
+
+        ``ambient`` injects a precomputed :class:`AmbientStage` (the
+        per-tag stage then skips the eNodeB transmit — the multi-tag fleet
+        path); ``owned_half_frames`` restricts the tag to a MAC-assigned
+        subset of half-frames (see
+        :meth:`repro.tag.controller.TagController.build_schedule`).
         """
         config = self.config
         rngs = spawn_rngs(self.rng.integers(0, 2**31 - 1), 6)
@@ -152,11 +201,12 @@ class LScatterSystem:
             payload_bits = rng_payload.integers(0, 2, size=int(payload_length))
         payload_bits = np.asarray(payload_bits, dtype=np.int8)
 
-        # 1. eNodeB transmission, normalised to unit mean sample power.
-        tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng_tx)
-        capture = tx.transmit(config.n_frames)
-        mean_power = float(np.mean(np.abs(capture.samples) ** 2))
-        unit = capture.samples / np.sqrt(mean_power)
+        # 1. eNodeB transmission, normalised to unit mean sample power
+        #    (or injected, already normalised, from a shared ambient stage).
+        if ambient is None:
+            ambient = self.prepare_ambient(rng=rng_tx)
+        capture = ambient.capture
+        unit = ambient.unit
 
         # 2. Channels.
         bs_link = BackscatterLink(
@@ -189,7 +239,7 @@ class LScatterSystem:
         )
         timing = self.controller.genie_timing(0, error_samples)
         schedule = self.controller.build_schedule(
-            timing, len(unit), payload_bits
+            timing, len(unit), payload_bits, owned_half_frames=owned_half_frames
         )
         reflected = self.modulator.reflect(ambient_at_tag, schedule.chips)
 

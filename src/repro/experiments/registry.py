@@ -28,6 +28,7 @@ _EXPERIMENTS = {
     "fig32": ("repro.experiments.fig32_lte_impact", "Impact on LTE throughput"),
     "fig33": ("repro.experiments.fig33_auth", "Continuous-auth update rate"),
     "power": ("repro.experiments.power_table", "Tag power consumption (§4.8)"),
+    "fleetn": ("repro.experiments.fleet_scaling", "Network throughput vs. tag count"),
 }
 
 REGISTRY = dict(_EXPERIMENTS)

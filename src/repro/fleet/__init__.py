@@ -1,0 +1,51 @@
+"""Multi-tag network simulation: many tags riding one ambient LTE cell.
+
+The paper's single-link pipeline (:mod:`repro.core.system`) simulates one
+tag; ubiquitous passive communication means fleets.  This package adds the
+missing substrate:
+
+* :mod:`repro.fleet.deployment` — N tags with per-tag geometry around one
+  eNodeB and its UEs;
+* :mod:`repro.fleet.scheduler` — half-frame assignment under the
+  :mod:`repro.mac` schemes (TDMA, slotted-ALOHA with capture, EPC-style
+  priority), with analytic collision resolution;
+* :mod:`repro.fleet.ambient` — the shared-ambient cache: the eNodeB
+  capture is generated once per ``(bandwidth, cell, n_frames, seed)`` and
+  memory-mapped into worker processes instead of regenerated per tag;
+* :mod:`repro.fleet.engine` — a deterministic parallel run engine
+  (process pool, pre-spawned per-task seeds, retry-on-worker-failure,
+  serial fallback);
+* :mod:`repro.fleet.runner` / :mod:`repro.fleet.report` — orchestration
+  and the aggregate :class:`~repro.fleet.report.FleetReport`.
+
+Entry points: ``repro fleet`` on the command line, experiment id
+``fleetn`` in the registry.
+"""
+
+from repro.fleet.ambient import AmbientCache, AmbientHandle
+from repro.fleet.deployment import Deployment, TagPlacement
+from repro.fleet.engine import EngineTelemetry, ParallelRunEngine
+from repro.fleet.report import FleetReport, TagResult
+from repro.fleet.runner import FleetRunner
+from repro.fleet.scheduler import (
+    SCHEME_NAMES,
+    FleetSchedule,
+    FleetScheduler,
+    make_scheme,
+)
+
+__all__ = [
+    "AmbientCache",
+    "AmbientHandle",
+    "Deployment",
+    "TagPlacement",
+    "EngineTelemetry",
+    "ParallelRunEngine",
+    "FleetReport",
+    "TagResult",
+    "FleetRunner",
+    "SCHEME_NAMES",
+    "FleetSchedule",
+    "FleetScheduler",
+    "make_scheme",
+]

@@ -1,0 +1,148 @@
+"""Shared eNodeB captures: compute the ambient stage once, reuse N times.
+
+``LteTransmitter.transmit`` output is deterministic per ``(bandwidth,
+cell, n_frames, seed)`` — nothing about a tag feeds back into the eNodeB —
+so when a fleet of N tags rides one cell, the capture and its OFDM
+modulation only need to be generated once.  :class:`AmbientCache` keys
+prepared :class:`~repro.core.system.AmbientStage` objects on exactly that
+tuple and counts transmitter invocations (``transmit_calls``) so the
+benchmark suite can assert the sharing actually happens.
+
+For multi-process fleet runs the unit-power samples are additionally
+spilled to a binary scratch file; :class:`AmbientHandle` carries the path
+and workers re-open it with ``numpy.memmap`` read-only — the ambient is
+shared by the page cache instead of being pickled into every worker.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.system import AmbientStage, LScatterSystem
+from repro.lte.params import LteParams
+from repro.lte.transmitter import LteCapture
+
+
+@dataclass(frozen=True)
+class AmbientKey:
+    """Everything the ambient stage depends on."""
+
+    bandwidth_mhz: float
+    cell: object  # CellConfig is a frozen (hashable) dataclass
+    n_frames: int
+    seed: int
+
+
+@dataclass
+class AmbientHandle:
+    """Picklable recipe for re-opening a shared ambient in a worker.
+
+    Only scalars and a file path cross the process boundary; the samples
+    themselves stay on disk and are memory-mapped on first use.
+    """
+
+    path: str
+    n_samples: int
+    bandwidth_mhz: float
+    cell: object
+    #: Genie frame records, only populated when the per-tag stage needs
+    #: them (``reference_mode='decoded'``); pickled with the handle.
+    frames: list = field(default_factory=list)
+
+    def load(self):
+        """Re-open the shared samples and rebuild an :class:`AmbientStage`."""
+        unit = np.memmap(self.path, dtype=np.complex128, mode="r",
+                         shape=(self.n_samples,))
+        capture = LteCapture(
+            params=LteParams.from_bandwidth(self.bandwidth_mhz),
+            cell=self.cell,
+            samples=unit,
+            frames=self.frames,
+        )
+        return AmbientStage(capture=capture, unit=unit)
+
+
+@dataclass
+class _Entry:
+    stage: AmbientStage
+    path: str | None = None
+
+
+class AmbientCache:
+    """Memoise ambient stages per (bandwidth, cell, n_frames, seed)."""
+
+    def __init__(self, scratch_dir=None):
+        self._entries = {}
+        self._scratch_dir = scratch_dir
+        #: How many times ``LteTransmitter.transmit`` actually ran.
+        self.transmit_calls = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(config, seed):
+        return AmbientKey(
+            bandwidth_mhz=float(config.bandwidth_mhz),
+            cell=config.cell,
+            n_frames=int(config.n_frames),
+            seed=int(seed),
+        )
+
+    def get(self, config, seed):
+        """The shared :class:`AmbientStage` for ``config``'s ambient tuple.
+
+        The returned stage's capture holds the *normalised* samples (mean
+        sample power 1), so ``capture.samples is stage.unit`` — genie-mode
+        references and the reflected waveform then agree in scale across
+        every consumer of the cache.
+        """
+        return self._entry(config, seed).stage
+
+    def _entry(self, config, seed):
+        key = self.key_for(config, seed)
+        entry = self._entries.get(key)
+        if entry is None:
+            stage = LScatterSystem(config).prepare_ambient(rng=key.seed)
+            self.transmit_calls += 1
+            # Re-point the capture at the unit samples: one array, one scale.
+            stage.capture.samples = stage.unit
+            entry = _Entry(stage=stage)
+            self._entries[key] = entry
+        return entry
+
+    def handle(self, config, seed, include_frames=False):
+        """An :class:`AmbientHandle` for worker processes (spills to disk)."""
+        key = self.key_for(config, seed)
+        entry = self._entry(config, seed)
+        if entry.path is None:
+            fd, path = tempfile.mkstemp(
+                prefix="lscatter-ambient-", suffix=".iq", dir=self._scratch_dir
+            )
+            with os.fdopen(fd, "wb") as fh:
+                np.ascontiguousarray(entry.stage.unit, dtype=np.complex128).tofile(fh)
+            entry.path = path
+        return AmbientHandle(
+            path=entry.path,
+            n_samples=len(entry.stage.unit),
+            bandwidth_mhz=key.bandwidth_mhz,
+            cell=key.cell,
+            frames=list(entry.stage.capture.frames) if include_frames else [],
+        )
+
+    def clear(self):
+        """Drop every entry and unlink the scratch files."""
+        for entry in self._entries.values():
+            if entry.path is not None and os.path.exists(entry.path):
+                os.unlink(entry.path)
+        self._entries.clear()
+
+    def __del__(self):
+        try:
+            self.clear()
+        except Exception:
+            pass

@@ -1,0 +1,116 @@
+"""Parallel run engine: deterministic fan-out of per-tag simulations.
+
+Design rules:
+
+* **Determinism** — every task is a self-contained picklable payload with
+  its own pre-spawned seed; results are keyed by task index, so the output
+  order (and every bit of every result) is identical for any worker count.
+* **Resilience** — a task whose worker dies (``BrokenProcessPool``, a
+  killed container child, a pickling surprise) is retried *in the parent
+  process*; the task is pure, so the retry reproduces exactly what the
+  worker would have produced.
+* **Fallback** — if the platform cannot spawn processes at all, the whole
+  batch degrades to the serial path instead of failing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineTelemetry:
+    """What the fan-out actually cost."""
+
+    workers: int = 1
+    wall_seconds: float = 0.0
+    #: Sum of per-task runtimes — the serial-equivalent cost.
+    task_seconds: float = 0.0
+    retried: int = 0
+    fell_back_serial: bool = False
+
+    @property
+    def speedup(self):
+        """Serial-equivalent time over wall time (1.0 when serial)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.task_seconds / self.wall_seconds
+
+
+@dataclass
+class ParallelRunEngine:
+    """Map a pure function over tasks with processes, retries, fallback."""
+
+    workers: int = 1
+    max_retries: int = 1
+
+    def __post_init__(self):
+        if self.workers is None:
+            self.workers = os.cpu_count() or 1
+        self.workers = max(1, int(self.workers))
+        self.telemetry = EngineTelemetry(workers=self.workers)
+
+    def map(self, fn, tasks):
+        """Apply ``fn`` to every task; returns results in task order.
+
+        ``fn(task)`` must return ``(elapsed_seconds, result)`` so the
+        telemetry can compare wall time against serial-equivalent time.
+        """
+        tasks = list(tasks)
+        telemetry = self.telemetry
+        start = time.perf_counter()
+        if self.workers <= 1 or len(tasks) <= 1:
+            results = [self._run_local(fn, task) for task in tasks]
+        else:
+            try:
+                results = self._run_pool(fn, tasks)
+            except (BrokenProcessPool, OSError, PermissionError):
+                # The pool itself could not be (re)built — e.g. a sandbox
+                # with no process spawning. Finish the batch serially.
+                telemetry.fell_back_serial = True
+                results = [self._run_local(fn, task) for task in tasks]
+        telemetry.wall_seconds = time.perf_counter() - start
+        return results
+
+    def _run_local(self, fn, task):
+        elapsed, result = fn(task)
+        self.telemetry.task_seconds += elapsed
+        return result
+
+    def _run_pool(self, fn, tasks):
+        telemetry = self.telemetry
+        results = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(fn, tasks[i]): i for i in pending}
+            failed = []
+            for future, index in futures.items():
+                try:
+                    elapsed, result = future.result()
+                except BrokenProcessPool:
+                    failed.append(index)
+                    continue
+                except Exception:
+                    # A real task error reproduces serially below and, if
+                    # it is deterministic, surfaces there with a clean
+                    # parent-process traceback.
+                    failed.append(index)
+                    continue
+                telemetry.task_seconds += elapsed
+                results[index] = result
+        for index in failed:
+            retries = 0
+            while True:
+                try:
+                    results[index] = self._run_local(fn, tasks[index])
+                    telemetry.retried += 1
+                    break
+                except Exception:
+                    retries += 1
+                    if retries > self.max_retries:
+                        raise
+        return results

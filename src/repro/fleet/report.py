@@ -1,0 +1,126 @@
+"""Aggregate results of one fleet run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lte.params import FRAME_SECONDS
+
+
+@dataclass
+class TagResult:
+    """One tag's outcome inside a fleet run."""
+
+    name: str
+    enb_to_tag_ft: float
+    tag_to_ue_ft: float
+    n_bits: int = 0
+    n_errors: int = 0
+    n_windows: int = 0
+    n_lost_windows: int = 0
+    sync_error_us: float = float("nan")
+    #: Half-frames this tag successfully owned / lost to collisions.
+    owned_half_frames: int = 0
+    collided_half_frames: int = 0
+    #: Wall-clock cost of this tag's simulation stage.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ber(self):
+        """Signal-level BER over the tag's successful airtime."""
+        if self.n_bits == 0:
+            return float("nan")
+        return self.n_errors / self.n_bits
+
+    @property
+    def good_bits(self):
+        return self.n_bits - self.n_errors
+
+    def throughput_bps(self, capture_seconds):
+        """Good backscatter bits per second of *capture* time.
+
+        Collided half-frames carried bits that never decoded, so they
+        contribute airtime but no goodput — the network-level measure the
+        fleetN experiment sweeps.
+        """
+        if capture_seconds <= 0:
+            return 0.0
+        return self.good_bits / capture_seconds
+
+
+@dataclass
+class FleetReport:
+    """Everything one :class:`~repro.fleet.runner.FleetRunner` run produced."""
+
+    scheme: str
+    n_tags: int
+    n_half_frames: int
+    duration_seconds: float
+    tags: list = field(default_factory=list)
+    collision_fraction: float = 0.0
+    idle_fraction: float = 0.0
+    airtime_utilisation: float = 0.0
+    #: Run-engine telemetry.
+    workers: int = 1
+    wall_seconds: float = 0.0
+    serial_seconds_estimate: float = 0.0
+    speedup: float = 1.0
+    retried_tasks: int = 0
+    #: How many times the eNodeB capture was actually generated.
+    transmit_invocations: int = 0
+
+    @property
+    def aggregate_throughput_bps(self):
+        """Network goodput: every tag's good bits over the capture time."""
+        return sum(t.throughput_bps(self.duration_seconds) for t in self.tags)
+
+    @property
+    def mean_ber(self):
+        measured = [t.ber for t in self.tags if t.n_bits > 0]
+        if not measured:
+            return float("nan")
+        return sum(measured) / len(measured)
+
+    def tag(self, name):
+        for result in self.tags:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    def format_table(self):
+        """Plain-text per-tag table plus the aggregate footer."""
+        header = (
+            f"{'tag':8s} {'enb_ft':>7s} {'ue_ft':>6s} {'half-frames':>11s} "
+            f"{'collided':>8s} {'bits':>8s} {'BER':>10s} {'kbps':>9s}"
+        )
+        lines = [header]
+        for t in self.tags:
+            ber = f"{t.ber:.3e}" if t.n_bits else "-"
+            lines.append(
+                f"{t.name:8s} {t.enb_to_tag_ft:7.1f} {t.tag_to_ue_ft:6.1f} "
+                f"{t.owned_half_frames:11d} {t.collided_half_frames:8d} "
+                f"{t.n_bits:8d} {ber:>10s} "
+                f"{t.throughput_bps(self.duration_seconds) / 1e3:9.1f}"
+            )
+        lines.append(
+            f"aggregate: {self.aggregate_throughput_bps / 1e6:.3f} Mbps over "
+            f"{self.duration_seconds * 1e3:.0f} ms "
+            f"({self.n_half_frames} half-frames, scheme={self.scheme})"
+        )
+        lines.append(
+            f"airtime: {self.airtime_utilisation:.0%} used, "
+            f"{self.collision_fraction:.0%} collided, "
+            f"{self.idle_fraction:.0%} idle"
+        )
+        lines.append(
+            f"engine: {self.workers} worker(s), wall {self.wall_seconds:.2f} s, "
+            f"serial-equivalent {self.serial_seconds_estimate:.2f} s "
+            f"(speedup {self.speedup:.2f}x), "
+            f"{self.transmit_invocations} eNodeB transmit call(s)"
+        )
+        return "\n".join(lines)
+
+
+def capture_seconds(n_half_frames):
+    """Duration of ``n_half_frames`` half-frames."""
+    return n_half_frames * (FRAME_SECONDS / 2.0)

@@ -1,0 +1,173 @@
+"""Execute a fleet: schedule, share the ambient, fan out per-tag stages.
+
+The runner is the glue between the three fleet substrates:
+
+1. :class:`~repro.fleet.scheduler.FleetScheduler` decides, in the parent
+   process, which tag owns which half-frame (so MAC randomness never
+   depends on the worker count);
+2. :class:`~repro.fleet.ambient.AmbientCache` generates the eNodeB
+   capture once and shares it — in-memory when serial, memory-mapped
+   through an :class:`~repro.fleet.ambient.AmbientHandle` when parallel;
+3. :class:`~repro.fleet.engine.ParallelRunEngine` runs one pure
+   :func:`_simulate_tag` task per tag, each with a pre-spawned seed, so
+   per-tag BER/throughput are bit-identical for any ``--workers`` value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.system import LScatterSystem
+from repro.fleet.ambient import AmbientCache
+from repro.fleet.engine import ParallelRunEngine
+from repro.fleet.report import FleetReport, TagResult, capture_seconds
+from repro.fleet.scheduler import FleetScheduler, make_scheme
+
+
+@dataclass
+class TagTask:
+    """Self-contained, picklable payload for one per-tag simulation."""
+
+    index: int
+    name: str
+    config: object
+    seed: int
+    owned: tuple
+    collided: int
+    payload_length: int
+    enb_to_tag_ft: float
+    tag_to_ue_ft: float
+    #: AmbientStage (serial) or AmbientHandle (worker processes).
+    ambient: object = None
+    extras: dict = field(default_factory=dict)
+
+
+def _simulate_tag(task):
+    """Run one tag's per-tag stage; returns ``(elapsed, TagResult)``.
+
+    Module-level and argument-pure so it pickles cleanly into worker
+    processes and reproduces exactly when retried in the parent.
+    """
+    start = time.perf_counter()
+    result = TagResult(
+        name=task.name,
+        enb_to_tag_ft=task.enb_to_tag_ft,
+        tag_to_ue_ft=task.tag_to_ue_ft,
+        owned_half_frames=len(task.owned),
+        collided_half_frames=task.collided,
+    )
+    if task.owned:
+        ambient = task.ambient
+        if hasattr(ambient, "load"):
+            ambient = ambient.load()
+        system = LScatterSystem(task.config, rng=task.seed)
+        report = system.run(
+            payload_length=task.payload_length,
+            ambient=ambient,
+            owned_half_frames=task.owned,
+        )
+        result.n_bits = report.n_bits
+        result.n_errors = report.n_errors
+        result.n_windows = report.n_windows
+        result.n_lost_windows = report.n_lost_windows
+        result.sync_error_us = report.sync_error_us
+    elapsed = time.perf_counter() - start
+    result.elapsed_seconds = elapsed
+    return elapsed, result
+
+
+class FleetRunner:
+    """One multi-tag network simulation over a shared ambient capture."""
+
+    def __init__(
+        self,
+        deployment,
+        scheme="tdma",
+        workers=1,
+        seed=0,
+        cache=None,
+        max_retries=1,
+    ):
+        self.deployment = deployment
+        self.scheme = scheme
+        self.workers = workers
+        self.seed = int(seed)
+        self.cache = cache if cache is not None else AmbientCache()
+        self.max_retries = max_retries
+
+    def _scheme(self):
+        if isinstance(self.scheme, str):
+            return make_scheme(self.scheme, weights=self.deployment.weights())
+        return self.scheme
+
+    def run(self, payload_length=20000):
+        """Simulate the fleet; returns a :class:`FleetReport`."""
+        deployment = self.deployment
+        n_tags = deployment.n_tags
+
+        # Seeds: one stream for the MAC scheme, one per tag — all spawned
+        # in the parent so results never depend on execution order.
+        root = np.random.SeedSequence(self.seed)
+        sched_seq, *tag_seqs = root.spawn(1 + n_tags)
+        tag_seeds = [int(seq.generate_state(1)[0]) for seq in tag_seqs]
+
+        scheduler = FleetScheduler(
+            self._scheme(), rng=np.random.default_rng(sched_seq)
+        )
+        schedule = scheduler.assign(
+            deployment.names,
+            deployment.n_half_frames,
+            deployment.tag_powers_dbm(),
+        )
+
+        base_config = deployment.base_config()
+        engine = ParallelRunEngine(
+            workers=self.workers, max_retries=self.max_retries
+        )
+        if engine.workers > 1 and n_tags > 1:
+            ambient = self.cache.handle(
+                base_config,
+                self.seed,
+                include_frames=deployment.reference_mode == "decoded",
+            )
+        else:
+            ambient = self.cache.get(base_config, self.seed)
+
+        tasks = []
+        for index, placement in enumerate(deployment.tags):
+            tasks.append(
+                TagTask(
+                    index=index,
+                    name=placement.name,
+                    config=deployment.config_for(placement),
+                    seed=tag_seeds[index],
+                    owned=tuple(schedule.owned_half_frames(placement.name)),
+                    collided=len(schedule.collided_half_frames(placement.name)),
+                    payload_length=int(payload_length),
+                    enb_to_tag_ft=placement.enb_to_tag_ft,
+                    tag_to_ue_ft=placement.tag_to_ue_ft,
+                    ambient=ambient,
+                )
+            )
+
+        results = engine.map(_simulate_tag, tasks)
+        telemetry = engine.telemetry
+        return FleetReport(
+            scheme=schedule.scheme,
+            n_tags=n_tags,
+            n_half_frames=schedule.n_half_frames,
+            duration_seconds=capture_seconds(schedule.n_half_frames),
+            tags=list(results),
+            collision_fraction=schedule.collision_fraction,
+            idle_fraction=schedule.idle_fraction,
+            airtime_utilisation=schedule.airtime_utilisation,
+            workers=telemetry.workers,
+            wall_seconds=telemetry.wall_seconds,
+            serial_seconds_estimate=telemetry.task_seconds,
+            speedup=telemetry.speedup,
+            retried_tasks=telemetry.retried,
+            transmit_invocations=self.cache.transmit_calls,
+        )

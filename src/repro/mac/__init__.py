@@ -10,6 +10,7 @@ IQ-level two-tag collision simulation (capture effect included).
 from repro.mac.schemes import (
     TdmaScheme,
     SlottedAlohaScheme,
+    PriorityScheme,
     ContentionReport,
     simulate_contention,
 )
@@ -18,6 +19,7 @@ from repro.mac.collision import two_tag_collision
 __all__ = [
     "TdmaScheme",
     "SlottedAlohaScheme",
+    "PriorityScheme",
     "ContentionReport",
     "simulate_contention",
     "two_tag_collision",

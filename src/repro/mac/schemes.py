@@ -69,6 +69,40 @@ class SlottedAlohaScheme:
         return [name for name in tag_names if rng.random() < p]
 
 
+class PriorityScheme:
+    """EPC-style weighted scheduling: a grant per slot, airtime by weight.
+
+    Models the downlink-scheduler view of an LTE core: every tag has a
+    QCI-like integer weight and a central grant (derived, like TDMA, from
+    the shared PSS timing plus a static configuration) gives each slot to
+    exactly one tag — so it never collides — with long-run airtime
+    proportional to weight.  Implemented as deficit weighted round-robin:
+    each slot every tag earns ``weight`` credits, the richest tag (ties
+    broken by name order) transmits and pays the total earned per slot.
+    """
+
+    name = "priority"
+
+    def __init__(self, weights=None):
+        #: Tag name -> positive integer weight; unknown tags default to 1.
+        self.weights = dict(weights or {})
+        self._credits = {}
+
+    def _weight(self, name):
+        weight = self.weights.get(name, 1)
+        if weight <= 0:
+            raise ValueError(f"priority weight for {name!r} must be positive")
+        return weight
+
+    def transmitters(self, slot_index, tag_names, rng):
+        total = sum(self._weight(name) for name in tag_names)
+        for name in tag_names:
+            self._credits[name] = self._credits.get(name, 0) + self._weight(name)
+        winner = min(tag_names, key=lambda name: (-self._credits[name], name))
+        self._credits[winner] -= total
+        return [winner]
+
+
 def simulate_contention(
     tag_powers_dbm,
     scheme,

@@ -137,11 +137,17 @@ class TagController:
         """(slot, symbol) pairs modulated per half-frame, packet-ordered."""
         return slot_plan()
 
-    def build_schedule(self, timing, n_samples, payload_bits):
+    def build_schedule(self, timing, n_samples, payload_bits, owned_half_frames=None):
         """Lay chips over a capture of ``n_samples`` samples.
 
         ``payload_bits`` are consumed packet by packet until either the
         capture or the payload runs out; remaining capacity idles at '1'.
+
+        ``owned_half_frames`` restricts modulation to the given half-frame
+        indices (0 = first half-frame of the capture) — the hook a MAC
+        scheme uses to share the cell among several tags; half-frames the
+        tag does not own are left unmodulated (constant '1' chips) and
+        consume no payload.  ``None`` (the default) owns every half-frame.
         Returns a :class:`ChipSchedule`.
         """
         params = self.params
@@ -149,6 +155,8 @@ class TagController:
         chips = np.ones(int(n_samples), dtype=np.int8)
         windows = []
         preamble = preamble_bits(self.n_chips)
+        if owned_half_frames is not None:
+            owned_half_frames = {int(h) for h in owned_half_frames}
 
         half_frame_samples = params.samples_per_frame // 2
         plan = self._symbol_plan()
@@ -161,8 +169,13 @@ class TagController:
         while half_start < -half_frame_samples // 2:
             half_start += half_frame_samples
 
+        half_index = -1
         n_half_frames = 0
         while half_start + half_frame_samples <= n_samples:
+            half_index += 1
+            if owned_half_frames is not None and half_index not in owned_half_frames:
+                half_start += half_frame_samples
+                continue
             n_half_frames += 1
             for slot_symbols in plan:
                 data_symbols = len(slot_symbols) - 1

@@ -48,6 +48,31 @@ def test_align_tolerance_exceeded_is_lost():
     assert pairs == [(0, None)]
 
 
+def test_align_empty_demod_starts_loses_every_window():
+    schedule = [_window(100, [1, 0]), _window(200, [0, 1])]
+    pairs = align_windows(schedule, [], tolerance=5)
+    assert pairs == [(0, None), (1, None)]
+
+
+def test_align_empty_schedule_returns_no_pairs():
+    assert align_windows([], [100, 200], tolerance=5) == []
+
+
+def test_align_exact_tolerance_boundary_matches():
+    schedule = [_window(100, [1, 0])]
+    # A delta of exactly `tolerance` is inclusive...
+    assert align_windows(schedule, [105], tolerance=5) == [(0, 0)]
+    assert align_windows(schedule, [95], tolerance=5) == [(0, 0)]
+    # ...one sample past it is lost.
+    assert align_windows(schedule, [106], tolerance=5) == [(0, None)]
+
+
+def test_align_picks_nearest_candidate():
+    schedule = [_window(100, [1, 0])]
+    pairs = align_windows(schedule, [90, 99, 130], tolerance=5)
+    assert pairs == [(0, 1)]
+
+
 def test_measure_ber_counts_errors():
     schedule = ChipSchedule(
         chips=np.ones(1, np.int8),
@@ -74,3 +99,24 @@ def test_measure_ber_length_mismatch_is_lost():
     demod = _FakeDemod([10], [[1, 0]])
     _, n_errors, _, n_lost = measure_ber(schedule, demod, 3)
     assert (n_errors, n_lost) == (3, 1)
+
+
+def test_measure_ber_mismatched_window_counts_all_bits_lost():
+    # A longer-than-sent demod window is just as lost as a shorter one:
+    # every sent bit counts as errored, not only the overlap.
+    schedule = ChipSchedule(
+        chips=np.ones(1, np.int8),
+        windows=[_window(10, [1, 0, 1, 0]), _window(20, [1, 1])],
+    )
+    demod = _FakeDemod([10, 20], [[1, 0, 1, 0, 1, 1], [1, 1]])
+    n_bits, n_errors, n_windows, n_lost = measure_ber(schedule, demod, 3)
+    assert (n_bits, n_errors, n_windows, n_lost) == (6, 4, 2, 1)
+
+
+def test_measure_ber_no_demod_windows_at_all():
+    schedule = ChipSchedule(
+        chips=np.ones(1, np.int8), windows=[_window(10, [1, 0, 1])]
+    )
+    demod = _FakeDemod([], [])
+    n_bits, n_errors, n_windows, n_lost = measure_ber(schedule, demod, 3)
+    assert (n_bits, n_errors, n_windows, n_lost) == (3, 3, 1, 1)

@@ -1,0 +1,67 @@
+"""Shared-ambient cache tests."""
+
+import os
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.fleet import AmbientCache
+
+
+def _config(**kwargs):
+    defaults = dict(bandwidth_mhz=1.4, n_frames=1, reference_mode="genie")
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def test_cache_hits_share_one_transmit():
+    cache = AmbientCache()
+    first = cache.get(_config(), seed=0)
+    second = cache.get(_config(), seed=0)
+    assert cache.transmit_calls == 1
+    assert second is first
+    assert len(cache) == 1
+
+
+def test_cache_misses_on_different_key():
+    cache = AmbientCache()
+    cache.get(_config(), seed=0)
+    cache.get(_config(), seed=1)
+    cache.get(_config(n_frames=2), seed=0)
+    assert cache.transmit_calls == 3
+    assert len(cache) == 3
+
+
+def test_cached_stage_is_unit_power_and_self_consistent():
+    cache = AmbientCache()
+    stage = cache.get(_config(), seed=0)
+    np.testing.assert_allclose(np.mean(np.abs(stage.unit) ** 2), 1.0)
+    # Genie reference and reflected waveform come from the same array.
+    assert stage.capture.samples is stage.unit
+
+
+def test_handle_round_trips_through_memmap(tmp_path):
+    cache = AmbientCache(scratch_dir=tmp_path)
+    stage = cache.get(_config(), seed=0)
+    handle = cache.handle(_config(), seed=0)
+    assert cache.transmit_calls == 1  # handle reuses the cached stage
+    assert os.path.exists(handle.path)
+    loaded = handle.load()
+    np.testing.assert_array_equal(np.asarray(loaded.unit), stage.unit)
+    assert loaded.capture.samples is loaded.unit
+    # A second handle reuses the same scratch file.
+    again = cache.handle(_config(), seed=0)
+    assert again.path == handle.path
+    cache.clear()
+    assert not os.path.exists(handle.path)
+
+
+def test_handle_is_picklable(tmp_path):
+    import pickle
+
+    cache = AmbientCache(scratch_dir=tmp_path)
+    handle = cache.handle(_config(), seed=0)
+    clone = pickle.loads(pickle.dumps(handle))
+    loaded = clone.load()
+    assert len(loaded.unit) == handle.n_samples
+    cache.clear()

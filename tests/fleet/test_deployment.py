@@ -1,0 +1,57 @@
+"""Fleet deployment-model tests."""
+
+import pytest
+
+from repro.fleet import Deployment, TagPlacement
+
+
+def test_ring_layout_deterministic():
+    a = Deployment.ring(4)
+    b = Deployment.ring(4)
+    assert a.names == ["tag00", "tag01", "tag02", "tag03"]
+    assert [t.enb_to_tag_ft for t in a.tags] == [t.enb_to_tag_ft for t in b.tags]
+
+
+def test_uniform_random_deterministic_under_seed():
+    a = Deployment.uniform_random(5, rng=7)
+    b = Deployment.uniform_random(5, rng=7)
+    c = Deployment.uniform_random(5, rng=8)
+    assert [t.enb_to_tag_ft for t in a.tags] == [t.enb_to_tag_ft for t in b.tags]
+    assert [t.enb_to_tag_ft for t in a.tags] != [t.enb_to_tag_ft for t in c.tags]
+
+
+def test_config_for_carries_geometry_and_shared_knobs():
+    deployment = Deployment.ring(2, bandwidth_mhz=1.4, n_frames=3, venue="office")
+    config = deployment.config_for(deployment.tags[1])
+    assert config.bandwidth_mhz == 1.4
+    assert config.n_frames == 3
+    assert config.venue == "office"
+    assert config.enb_to_tag_ft == deployment.tags[1].enb_to_tag_ft
+    assert config.reference_mode == "genie"
+
+
+def test_tag_powers_monotone_in_distance():
+    deployment = Deployment.ring(4, enb_to_tag_ft=4.0, spread_ft=8.0)
+    powers = deployment.tag_powers_dbm()
+    ordered = [powers[name] for name in deployment.names]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_n_half_frames():
+    assert Deployment.ring(1, n_frames=4).n_half_frames == 8
+
+
+def test_invalid_deployments_rejected():
+    with pytest.raises(ValueError):
+        Deployment(tags=[])
+    with pytest.raises(ValueError):
+        Deployment(
+            tags=[
+                TagPlacement("dup", 1.0, 1.0),
+                TagPlacement("dup", 2.0, 2.0),
+            ]
+        )
+    with pytest.raises(ValueError):
+        TagPlacement("bad", -1.0, 1.0)
+    with pytest.raises(ValueError):
+        TagPlacement("bad", 1.0, 1.0, weight=0)

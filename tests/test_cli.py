@@ -43,3 +43,87 @@ def test_experiment_list(capsys):
 def test_experiment_runs_table1(capsys):
     assert main(["experiment", "table1"]) == 0
     assert "LScatter" in capsys.readouterr().out
+
+
+def test_experiment_seed_zero_is_forwarded(monkeypatch):
+    """An explicit --seed 0 must reach the experiment runner (not be
+    dropped by a truthiness check)."""
+    import repro.experiments.__main__ as experiments_main
+
+    seen = {}
+
+    def fake_main(argv):
+        seen["argv"] = argv
+        return 0
+
+    monkeypatch.setattr(experiments_main, "main", fake_main)
+    assert main(["experiment", "table1", "--seed", "0"]) == 0
+    assert seen["argv"] == ["table1", "--seed", "0"]
+
+
+def test_experiment_default_seed_omitted(monkeypatch):
+    """Without --seed, the experiment's own default seed applies."""
+    import repro.experiments.__main__ as experiments_main
+
+    seen = {}
+
+    def fake_main(argv):
+        seen["argv"] = argv
+        return 0
+
+    monkeypatch.setattr(experiments_main, "main", fake_main)
+    assert main(["experiment", "table1"]) == 0
+    assert seen["argv"] == ["table1"]
+
+
+def test_fleet_command(capsys):
+    code = main(
+        [
+            "fleet",
+            "--tags",
+            "2",
+            "--scheme",
+            "tdma",
+            "--seed",
+            "0",
+            "--frames",
+            "2",
+            "--payload",
+            "2000",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "FleetReport" in out
+    assert "tag00" in out and "tag01" in out
+    assert "aggregate" in out
+
+
+def test_fleet_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fleet", "--scheme", "csma"])
+
+
+def test_console_scripts_declared_and_importable():
+    """pyproject must expose the `repro` (and `lscatter`) console scripts,
+    both pointing at a callable that exists."""
+    import importlib
+    import pathlib
+    import re
+
+    text = (
+        pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+    ).read_text()
+    try:  # tomllib is 3.11+; fall back to a line scan on 3.10
+        import tomllib
+
+        scripts = tomllib.loads(text)["project"]["scripts"]
+    except ImportError:
+        scripts = dict(
+            re.findall(r'^(\w+)\s*=\s*"([\w.]+:\w+)"$', text, flags=re.M)
+        )
+    assert scripts["repro"] == "repro.cli:main"
+    assert scripts["lscatter"] == "repro.cli:main"
+    module_name, _, attr = scripts["repro"].partition(":")
+    entry = getattr(importlib.import_module(module_name), attr)
+    assert callable(entry)
