@@ -38,8 +38,10 @@ import numpy as np
 
 from repro.bsrx.equalizer import equalize_symbol, estimate_channel_from_known
 from repro.bsrx.mod_offset import find_modulation_offset
+from repro.lte.ofdm import frame_layout
 from repro.lte.params import LteParams
 from repro.lte.pss import PSS_SYMBOL_IN_SLOT
+from repro.lte.resource_grid import symbol_index
 from repro.lte.sss import SSS_SYMBOL_IN_SLOT
 from repro.tag.framing import preamble_bits, slot_plan
 
@@ -88,11 +90,15 @@ class BackscatterDemodulator:
         )
         self._preamble = preamble_bits(self.n_chips)
         self._preamble_signs = (2 * self._preamble - 1).astype(float)
+        # Cached per-frame symbol layout: the inner loops below look up a
+        # useful-symbol offset per symbol per packet, which was an O(sym)
+        # Python walk through LteParams.useful_start.
+        self._useful_starts = frame_layout(self.params).useful_starts
 
     # -- window helpers ----------------------------------------------------------
 
     def _useful(self, samples, half_start, slot, sym):
-        start = half_start + self.params.useful_start(slot, sym)
+        start = half_start + int(self._useful_starts[symbol_index(slot, sym)])
         return samples[start : start + self.params.fft_size], start
 
     def _chip_waveform(self, offset):
@@ -170,7 +176,7 @@ class BackscatterDemodulator:
         for half_start in half_frame_starts:
             if half_start < 0:
                 continue
-            last_needed = half_start + self.params.useful_start(9, 6) + fft
+            last_needed = half_start + int(self._useful_starts[symbol_index(9, 6)]) + fft
             if last_needed > n:
                 continue
             cascade = self._cascade_channel(

@@ -7,6 +7,7 @@ Three commands:
   ``python -m repro.experiments``);
 * ``survey`` — print the ambient-traffic survey for a venue;
 * ``fleet`` — multi-tag network simulation over one shared ambient cell;
+* ``bench`` — time the DSP hot path and write a perf baseline JSON;
 * ``report`` — write the full evaluation report.
 
 Installed as the ``repro`` console script (and ``lscatter``, its alias).
@@ -81,6 +82,21 @@ def _cmd_fleet(args):
     return 0
 
 
+def _cmd_bench(args):
+    from repro.bench import format_summary, run_bench
+
+    results = run_bench(
+        output=args.output,
+        bandwidth=args.bandwidth,
+        repeats=args.repeats,
+        smoke=args.smoke,
+    )
+    print(format_summary(results))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_survey(args):
     from repro.traffic import weekly_occupancy_samples
 
@@ -143,6 +159,27 @@ def build_parser():
         "bit-identical for any value)",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    bench = sub.add_parser("bench", help="benchmark the DSP hot path")
+    bench.add_argument("--output", default="BENCH_PR2.json")
+    bench.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        help="carrier bandwidth in MHz (default 20, or 5 in smoke mode)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="interleaved timing rounds (default 30, or 5 in smoke mode)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: narrow carrier, few repeats",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     survey = sub.add_parser("survey", help="ambient-traffic survey for a venue")
     survey.add_argument("--venue", default="home")

@@ -47,22 +47,36 @@ def align_windows(schedule_windows, demod_starts, tolerance):
 
     Returns a list of (schedule_index, demod_index or None).  Only data
     windows are considered on the schedule side.
+
+    The matching is one-to-one: each demodulated window can satisfy at
+    most one schedule window.  (A per-window nearest-neighbour pick let a
+    single demod window "satisfy" two schedule windows, masking a lost
+    window — the BER then undercounted errors for the one that was never
+    actually demodulated.)  Candidate pairs within tolerance are assigned
+    greedily by ascending distance, ties broken by schedule then demod
+    order, so the nearest available demod window wins.
     """
     demod_starts = np.asarray(demod_starts, dtype=np.int64)
-    pairs = []
-    for s_index, window in enumerate(schedule_windows):
-        if window.kind != "data":
-            continue
-        if len(demod_starts) == 0:
-            pairs.append((s_index, None))
-            continue
-        deltas = np.abs(demod_starts - window.start)
-        best = int(np.argmin(deltas))
-        if deltas[best] <= tolerance:
-            pairs.append((s_index, best))
-        else:
-            pairs.append((s_index, None))
-    return pairs
+    data_indices = [
+        s_index
+        for s_index, window in enumerate(schedule_windows)
+        if window.kind == "data"
+    ]
+    matched = {s_index: None for s_index in data_indices}
+    if len(demod_starts) > 0 and data_indices:
+        candidates = []
+        for s_index in data_indices:
+            deltas = np.abs(demod_starts - schedule_windows[s_index].start)
+            for d_index in np.flatnonzero(deltas <= tolerance):
+                candidates.append((int(deltas[d_index]), s_index, int(d_index)))
+        candidates.sort()
+        used_demod = set()
+        for _, s_index, d_index in candidates:
+            if matched[s_index] is not None or d_index in used_demod:
+                continue
+            matched[s_index] = d_index
+            used_demod.add(d_index)
+    return [(s_index, matched[s_index]) for s_index in data_indices]
 
 
 def measure_ber(schedule, demod_result, tolerance):

@@ -27,7 +27,7 @@ from repro.core.config import SystemConfig
 from repro.core.metrics import LinkReport, measure_ber
 from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
 from repro.lte.frame import FrameBuilder
-from repro.lte.params import FRAME_SECONDS
+from repro.lte.params import FRAME_SECONDS, SUBFRAMES_PER_FRAME
 from repro.lte.ofdm import modulate_frame
 from repro.lte.receiver import LteReceiver
 from repro.lte.transmitter import LteTransmitter
@@ -125,30 +125,41 @@ class LScatterSystem:
 
         In ``decoded`` mode the UE re-synthesises each frame from the
         transport blocks it decoded (falling back to the noisy observation
-        only if a CRC failed, which would degrade those chips — honest
-        behaviour for a deployable receiver).  In ``genie`` mode the
-        transmitted samples are used directly.
+        if a CRC failed or a frame produced no decoded subframes at all,
+        which would degrade those chips — honest behaviour for a deployable
+        receiver).  In ``genie`` mode the transmitted samples are used
+        directly.
+
+        The reference must stay sample-aligned with the capture: every
+        transmitted frame contributes exactly ``samples_per_frame``
+        samples whether or not it decoded.  (Iterating only over decoded
+        frames silently dropped absent ones, shortening the reference and
+        misaligning every later frame's chips.)
         """
         if self.config.reference_mode == "genie" or lte_result is None:
             return tx_capture.samples
         n = self.params.samples_per_frame
+        n_frames = len(tx_capture.samples) // n
         builder = FrameBuilder(self.params, self.config.cell, rng=0)
-        pieces = []
+        ref_power = np.mean(np.abs(tx_capture.samples[:n]) ** 2)
         by_frame = {}
         for sf in lte_result.subframes:
             by_frame.setdefault(sf.frame, []).append(sf)
-        for f in sorted(by_frame):
-            subframes = sorted(by_frame[f], key=lambda s: s.subframe)
-            if all(sf.crc_ok for sf in subframes):
+        pieces = []
+        for f in range(n_frames):
+            subframes = sorted(by_frame.get(f, []), key=lambda s: s.subframe)
+            if len(subframes) == SUBFRAMES_PER_FRAME and all(
+                sf.crc_ok for sf in subframes
+            ):
                 payloads = [sf.decoded for sf in subframes]
                 frame = builder.build(frame_number=f, payloads=payloads)
                 pieces.append(modulate_frame(frame.grid))
             else:
-                # CRC failure: no clean reconstruction; use the (scaled)
-                # received samples as the best available reference.
+                # CRC failure or missing frame: no clean reconstruction;
+                # use the (scaled) received samples as the best available
+                # reference so later frames stay aligned.
                 chunk = direct_rx[f * n : (f + 1) * n]
                 power = np.mean(np.abs(chunk) ** 2)
-                ref_power = np.mean(np.abs(tx_capture.samples[:n]) ** 2)
                 scale = np.sqrt(ref_power / max(power, 1e-30))
                 pieces.append(chunk * scale)
         return np.concatenate(pieces)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lte.gold import gold_qpsk
+from repro.utils.cache import memoize
 
 #: Symbols within a slot that carry CRS on port 0 (normal CP).
 CRS_SYMBOLS_IN_SLOT = (0, 4)
@@ -48,6 +49,7 @@ def crs_subcarrier_offset(symbol_in_slot, cell_id):
     return (v + cell_id % 6) % 6
 
 
+@memoize()
 def crs_positions(symbol_in_slot, cell_id, n_rb):
     """Data-subcarrier indices (0-based, low frequency first) carrying CRS.
 
@@ -58,6 +60,7 @@ def crs_positions(symbol_in_slot, cell_id, n_rb):
     return 6 * m + offset
 
 
+@memoize()
 def crs_values(slot, symbol_in_slot, cell_id, n_rb, normal_cp=True):
     """Complex CRS pilot values aligned with :func:`crs_positions`.
 

@@ -9,15 +9,15 @@ sequences every frame.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
+
+from repro.utils.cache import memoize
 
 #: Number of initial outputs discarded, per 36.211.
 NC_DISCARD = 1600
 
 
-@lru_cache(maxsize=4096)
+@memoize(maxsize=4096)
 def _gold_cached(c_init, length):
     total = NC_DISCARD + length
     # x1 starts as 1,0,0,...; x2 encodes c_init LSB-first.
@@ -29,9 +29,7 @@ def _gold_cached(c_init, length):
     for n in range(total):
         x1[n + 31] = (x1[n + 3] ^ x1[n]) & 1
         x2[n + 31] = (x2[n + 3] ^ x2[n + 2] ^ x2[n + 1] ^ x2[n]) & 1
-    c = (x1[NC_DISCARD:total] ^ x2[NC_DISCARD:total]).astype(np.int8)
-    c.setflags(write=False)
-    return c
+    return (x1[NC_DISCARD:total] ^ x2[NC_DISCARD:total]).astype(np.int8)
 
 
 def gold_sequence(c_init, length):

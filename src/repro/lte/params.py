@@ -10,6 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.utils.cache import memoize
+
 #: Subcarrier spacing (Hz) — fixed at 15 kHz for LTE.
 SUBCARRIER_SPACING_HZ = 15_000.0
 
@@ -153,11 +157,15 @@ class LteParams:
 
         Subcarrier ``k`` (0-based from the lowest frequency) maps around DC
         with the DC bin itself unused, matching 36.211 resource-grid
-        conventions.
+        conventions.  Cached per numerology; the returned array is
+        read-only — copy before mutating.
         """
-        import numpy as np
+        return _subcarrier_indices(self.n_subcarriers, self.fft_size)
 
-        half = self.n_subcarriers // 2
-        low = (np.arange(half) - half) % self.fft_size
-        high = np.arange(1, half + 1)
-        return np.concatenate([low, high])
+
+@memoize()
+def _subcarrier_indices(n_subcarriers, fft_size):
+    half = n_subcarriers // 2
+    low = (np.arange(half) - half) % fft_size
+    high = np.arange(1, half + 1)
+    return np.concatenate([low, high])

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lte.zadoff_chu import zadoff_chu
+from repro.utils.cache import memoize
 
 #: Zadoff-Chu root per N_ID^(2).
 PSS_ROOTS = (25, 29, 34)
@@ -28,6 +29,7 @@ PSS_SLOTS = (0, 10)
 PSS_SYMBOL_IN_SLOT = 6
 
 
+@memoize()
 def pss_sequence(n_id_2):
     """Frequency-domain PSS: 62 complex values (DC element removed).
 
@@ -42,6 +44,7 @@ def pss_sequence(n_id_2):
     return np.concatenate([zc[:31], zc[32:]])
 
 
+@memoize()
 def pss_subcarrier_indices(fft_size):
     """FFT bin indices of the 62 PSS subcarriers, lowest frequency first.
 
@@ -53,6 +56,7 @@ def pss_subcarrier_indices(fft_size):
     return np.concatenate([low, high])
 
 
+@memoize()
 def pss_time_domain(n_id_2, fft_size):
     """Useful-symbol time-domain PSS waveform (length ``fft_size``).
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.cache import memoize
+
 #: Symbol index within the slot that carries the SSS (one before the PSS).
 SSS_SYMBOL_IN_SLOT = 5
 
@@ -31,14 +33,17 @@ def _m_sequence(taps_register_update, length=31):
     return 1 - 2 * np.array(x, dtype=int)
 
 
+@memoize()
 def _s_tilde():
     return _m_sequence(lambda x, i: (x[i + 2] + x[i]) % 2)
 
 
+@memoize()
 def _c_tilde():
     return _m_sequence(lambda x, i: (x[i + 3] + x[i]) % 2)
 
 
+@memoize()
 def _z_tilde():
     return _m_sequence(lambda x, i: (x[i + 4] + x[i + 2] + x[i + 1] + x[i]) % 2)
 
@@ -55,6 +60,7 @@ def sss_m0_m1(n_id_1):
     return m0, m1
 
 
+@memoize()
 def sss_sequence(n_id_1, n_id_2, subframe):
     """62-element +/-1 SSS for subframe 0 or 5.
 

@@ -9,8 +9,12 @@ from repro.utils.units import (
     meters_to_feet,
 )
 from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.cache import cache_stats, clear_caches, memoize
 
 __all__ = [
+    "cache_stats",
+    "clear_caches",
+    "memoize",
     "db_to_linear",
     "linear_to_db",
     "dbm_to_watts",

@@ -73,6 +73,33 @@ def test_align_picks_nearest_candidate():
     assert pairs == [(0, 1)]
 
 
+def test_align_one_to_one_no_duplicate_demod_claim():
+    """Regression: two schedule windows must not share one demod window.
+
+    The old per-window argmin let the single demod window at 103 satisfy
+    both schedule windows, silently masking that one window was lost.
+    """
+    schedule = [_window(100, [1, 0]), _window(104, [0, 1])]
+    pairs = align_windows(schedule, [103, 180], tolerance=5)
+    assert pairs == [(0, None), (1, 0)]
+
+
+def test_align_one_to_one_prefers_globally_nearest():
+    # Window 104 is nearer to demod 103 (delta 1) than window 100
+    # (delta 3), so it wins the contested demod window.
+    schedule = [_window(100, [1, 0]), _window(104, [0, 1]), _window(200, [1, 1])]
+    pairs = align_windows(schedule, [103, 201], tolerance=5)
+    assert pairs == [(0, None), (1, 0), (2, 1)]
+
+
+def test_align_contention_resolves_to_distinct_windows():
+    # Both schedule windows are within tolerance of both demod windows;
+    # one-to-one matching must hand each its own (nearest available).
+    schedule = [_window(100, [1]), _window(102, [0])]
+    pairs = align_windows(schedule, [101, 103], tolerance=5)
+    assert pairs == [(0, 0), (1, 1)]
+
+
 def test_measure_ber_counts_errors():
     schedule = ChipSchedule(
         chips=np.ones(1, np.int8),
@@ -111,6 +138,21 @@ def test_measure_ber_mismatched_window_counts_all_bits_lost():
     demod = _FakeDemod([10, 20], [[1, 0, 1, 0, 1, 1], [1, 1]])
     n_bits, n_errors, n_windows, n_lost = measure_ber(schedule, demod, 3)
     assert (n_bits, n_errors, n_windows, n_lost) == (6, 4, 2, 1)
+
+
+def test_measure_ber_duplicate_demod_window_counts_lost():
+    """Lost-window accounting must not be masked by a shared demod window.
+
+    Two sent windows but only one demodulated: the old alignment matched
+    both against it (zero lost, half the errors), undercounting.
+    """
+    schedule = ChipSchedule(
+        chips=np.ones(1, np.int8),
+        windows=[_window(10, [1, 0, 1]), _window(14, [1, 0, 1])],
+    )
+    demod = _FakeDemod([13], [[1, 0, 1]])
+    n_bits, n_errors, n_windows, n_lost = measure_ber(schedule, demod, 5)
+    assert (n_bits, n_errors, n_windows, n_lost) == (6, 3, 2, 1)
 
 
 def test_measure_ber_no_demod_windows_at_all():

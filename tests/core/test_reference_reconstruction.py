@@ -1,0 +1,91 @@
+"""Reference reconstruction must stay sample-aligned with the capture."""
+
+import numpy as np
+
+from repro.core import LScatterSystem, SystemConfig
+from repro.lte.receiver import LteDecodeResult, SubframeResult
+
+
+def _make_system(n_frames=3):
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=n_frames,
+        reference_mode="decoded",
+        add_noise=False,
+        multipath=False,
+    )
+    return LScatterSystem(config, rng=0)
+
+
+def _decoded_subframes(capture, frame_numbers):
+    """Perfect decode results (true payloads) for the given frames."""
+    subframes = []
+    for f in frame_numbers:
+        for tb in capture.frames[f].transport_blocks:
+            subframes.append(
+                SubframeResult(
+                    frame=f,
+                    subframe=tb.subframe,
+                    crc_ok=True,
+                    payload_bits=len(tb.payload_bits),
+                    decoded=tb.payload_bits,
+                )
+            )
+    return subframes
+
+
+def test_missing_frame_keeps_reference_sample_aligned():
+    """Regression: a frame absent from the decode result was skipped
+    outright, shortening the reference and misaligning every later frame.
+    """
+    system = _make_system()
+    capture = system.prepare_ambient(rng=0).capture
+    n = system.params.samples_per_frame
+    # Frames 0 and 2 decode perfectly; frame 1 is absent entirely.
+    lte_result = LteDecodeResult(
+        subframes=_decoded_subframes(capture, (0, 2)), duration_seconds=0.03
+    )
+    direct_rx = 0.5 * capture.samples
+    reference = system._reconstruct_reference(direct_rx, capture, lte_result)
+
+    assert len(reference) == len(capture.samples)
+    # Decoded frames re-synthesise the transmitted samples exactly, and —
+    # critically — frame 2 lands at frame 2's sample offset.
+    assert np.array_equal(reference[:n], capture.samples[:n])
+    assert np.array_equal(reference[2 * n :], capture.samples[2 * n :])
+    # The missing frame falls back to the received chunk, rescaled to the
+    # transmitted reference power.
+    chunk = reference[n : 2 * n]
+    ref_power = np.mean(np.abs(capture.samples[:n]) ** 2)
+    np.testing.assert_allclose(np.mean(np.abs(chunk) ** 2), ref_power, rtol=1e-9)
+
+
+def test_crc_failed_frame_uses_scaled_received_chunk():
+    system = _make_system(n_frames=2)
+    capture = system.prepare_ambient(rng=0).capture
+    n = system.params.samples_per_frame
+    subframes = _decoded_subframes(capture, (0, 1))
+    # One CRC failure in frame 1 poisons that frame's rebuild.
+    subframes[-1].crc_ok = False
+    lte_result = LteDecodeResult(subframes=subframes, duration_seconds=0.02)
+    direct_rx = 0.25 * capture.samples
+    reference = system._reconstruct_reference(direct_rx, capture, lte_result)
+
+    assert len(reference) == len(capture.samples)
+    assert np.array_equal(reference[:n], capture.samples[:n])
+    # Frame 1: scaled received chunk (collinear with the capture, not equal).
+    chunk = reference[n:]
+    assert not np.array_equal(chunk, capture.samples[n:])
+    np.testing.assert_allclose(
+        np.mean(np.abs(chunk) ** 2),
+        np.mean(np.abs(capture.samples[:n]) ** 2),
+        rtol=1e-9,
+    )
+
+
+def test_genie_mode_returns_transmitted_samples():
+    system = _make_system(n_frames=1)
+    system.config.reference_mode = "genie"
+    capture = system.prepare_ambient(rng=0).capture
+    reference = system._reconstruct_reference(capture.samples, capture, None)
+    assert reference is capture.samples

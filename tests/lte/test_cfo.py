@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.lte import LteTransmitter
-from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
+from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo, estimate_cfo_loop
 from repro.utils.dsp import awgn
 from repro.utils.rng import make_rng
 
@@ -54,6 +54,53 @@ def test_zero_cfo_estimates_near_zero(capture):
 def test_short_capture_rejected(capture):
     with pytest.raises(ValueError):
         estimate_cfo(capture.samples[:10], capture.params)
+    with pytest.raises(ValueError):
+        estimate_cfo_loop(capture.samples[:10], capture.params)
+
+
+def test_vectorised_matches_pinned_loop(capture):
+    """Golden equivalence against the pre-vectorisation implementation.
+
+    Only the order of the complex accumulation differs between the two,
+    so the estimates agree to far below any physical resolution.
+    """
+    fs = capture.params.sample_rate_hz
+    impaired = apply_cfo(capture.samples, 412.5, fs)
+    params = capture.params
+    # Full frame, exactly one symbol, mid-slot truncation, ragged tail.
+    lengths = [
+        len(impaired),
+        params.cp_first + params.fft_size,
+        params.samples_per_slot + 3 * (params.cp_other + params.fft_size) + 7,
+        len(impaired) // 3,
+    ]
+    for n in lengths:
+        for max_symbols in (140, 9, 1):
+            vec = estimate_cfo(impaired[:n], params, max_symbols)
+            loop = estimate_cfo_loop(impaired[:n], params, max_symbols)
+            assert vec == pytest.approx(loop, abs=1e-6)
+
+
+def test_truncated_capture_exits_cleanly(capture):
+    """Regression: an incomplete trailing symbol must not change the result.
+
+    The pre-fix control flow kept re-entering the symbol loop for every
+    remaining slot after the first symbol failed to fit (the inner break
+    only exited the slot).  Symbols tile back-to-back, so those extra
+    iterations never contributed — the estimate over a truncated capture
+    must equal the estimate over its whole-symbol prefix.
+    """
+    fs = capture.params.sample_rate_hz
+    params = capture.params
+    impaired = apply_cfo(capture.samples, -230.0, fs)
+    # Cut mid-symbol: 5 whole symbols plus a partial sixth.
+    n_whole = params.cp_first + params.fft_size + 4 * (
+        params.cp_other + params.fft_size
+    )
+    truncated = impaired[: n_whole + 50]
+    assert estimate_cfo(truncated, params) == pytest.approx(
+        estimate_cfo(impaired[:n_whole], params), abs=1e-9
+    )
 
 
 def test_end_to_end_with_cfo():

@@ -99,6 +99,31 @@ def test_fleet_command(capsys):
     assert "aggregate" in out
 
 
+def test_bench_command_writes_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "bench.json"
+    code = main(
+        [
+            "bench",
+            "--smoke",
+            "--bandwidth",
+            "1.4",
+            "--repeats",
+            "2",
+            "--output",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "modulate_frame" in out and "combined" in out
+    results = json.loads(out_path.read_text())
+    assert results["mode"] == "smoke"
+    assert results["ofdm"]["speedup"]["combined"] > 0
+    assert "cache_stats" in results
+
+
 def test_fleet_rejects_unknown_scheme():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fleet", "--scheme", "csma"])
