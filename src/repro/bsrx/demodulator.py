@@ -68,17 +68,24 @@ class BsDemodResult:
     soft: np.ndarray  # matched-filter soft values, same order
     starts: np.ndarray  # absolute sample index of each data window
     window_bits: list = field(default_factory=list)  # per-window bit arrays
+    #: Per-window erasure flags: True where the packet's preamble
+    #: correlation collapsed (sync lost) and the bits are placeholders.
+    window_erased: list = field(default_factory=list)
     packets: list = field(default_factory=list)
 
     @property
     def n_data_windows(self):
         return len(self.window_bits)
 
+    @property
+    def n_erased_windows(self):
+        return int(sum(bool(flag) for flag in self.window_erased))
+
 
 class BackscatterDemodulator:
     """Demodulate tag chips from a shifted-band capture."""
 
-    def __init__(self, params, search_slack=None):
+    def __init__(self, params, search_slack=None, erasure_threshold=None):
         self.params = (
             params if isinstance(params, LteParams) else LteParams.from_bandwidth(params)
         )
@@ -90,6 +97,16 @@ class BackscatterDemodulator:
         )
         self._preamble = preamble_bits(self.n_chips)
         self._preamble_signs = (2 * self._preamble - 1).astype(float)
+        #: Erasure detection: when the better of the two per-packet
+        #: hypotheses still mis-slices more than this fraction of the
+        #: *known* preamble, the receiver has lost sync for that packet
+        #: (a random guess errs ~50 %); its data windows are emitted as
+        #: erasures instead of garbage bits, and demodulation re-acquires
+        #: at the next PSS-derived half-frame boundary.  ``None`` keeps
+        #: the legacy always-emit behaviour.
+        self.erasure_threshold = (
+            float(erasure_threshold) if erasure_threshold is not None else None
+        )
         # Cached per-frame symbol layout: the inner loops below look up a
         # useful-symbol offset per symbol per packet, which was an O(sym)
         # Python walk through LteParams.useful_start.
@@ -171,6 +188,7 @@ class BackscatterDemodulator:
         all_soft = []
         starts = []
         window_bits = []
+        window_erased = []
         packets = []
 
         for half_start in half_frame_starts:
@@ -189,6 +207,41 @@ class BackscatterDemodulator:
 
                 est_a, channel_a, errors_a = self._model_post_eq(y0, x0)
                 est_b, errors_b = self._model_predistort(y0, x0, cascade)
+
+                preamble_errors = min(errors_a, errors_b)
+                if (
+                    self.erasure_threshold is not None
+                    and preamble_errors > self.erasure_threshold * self.n_chips
+                ):
+                    # Preamble correlation collapsed: sync is lost for this
+                    # packet.  Emit its data windows as erasures (nominal
+                    # offset, placeholder bits) so the accounting layer can
+                    # exclude them, then continue at the next packet — the
+                    # half-frame grid is PSS-derived, so the next boundary
+                    # is the re-acquisition point.
+                    record = PacketRecord(
+                        half_frame_start=int(half_start),
+                        slot=slot,
+                        offset=self.nominal_offset,
+                        gain=0j,
+                        metric=0.0,
+                        model="erased",
+                        preamble_errors=preamble_errors,
+                    )
+                    for slot_, sym in slot_symbols[1:]:
+                        abs_start = half_start + int(
+                            self._useful_starts[symbol_index(slot_, sym)]
+                        )
+                        window_start = abs_start + self.nominal_offset
+                        bits = np.zeros(self.n_chips, dtype=np.int8)
+                        all_bits.append(bits)
+                        all_soft.append(np.zeros(self.n_chips))
+                        window_bits.append(bits)
+                        window_erased.append(True)
+                        starts.append(window_start)
+                        record.data_starts.append(window_start)
+                    packets.append(record)
+                    continue
 
                 use_post_eq = errors_a <= errors_b
                 estimate = est_a if use_post_eq else est_b
@@ -221,6 +274,7 @@ class BackscatterDemodulator:
                     all_bits.append(bits)
                     all_soft.append(soft)
                     window_bits.append(bits)
+                    window_erased.append(False)
                     starts.append(abs_start + lo)
                     record.data_starts.append(abs_start + lo)
                 packets.append(record)
@@ -236,5 +290,6 @@ class BackscatterDemodulator:
             soft=soft,
             starts=np.asarray(starts, dtype=np.int64),
             window_bits=window_bits,
+            window_erased=window_erased,
             packets=packets,
         )

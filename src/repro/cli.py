@@ -7,6 +7,7 @@ Three commands:
   ``python -m repro.experiments``);
 * ``survey`` — print the ambient-traffic survey for a venue;
 * ``fleet`` — multi-tag network simulation over one shared ambient cell;
+* ``chaos`` — fault-injection sweeps and degradation curves;
 * ``bench`` — time the DSP hot path and write a perf baseline JSON;
 * ``report`` — write the full evaluation report.
 
@@ -61,7 +62,26 @@ def _cmd_experiment(args):
     return experiments_main(argv)
 
 
+def _fail_usage(message):
+    """One-line actionable argument error; exit code 2 like argparse."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _validate_fleet(args):
+    if args.tags < 1:
+        return _fail_usage(f"--tags must be >= 1, got {args.tags}")
+    if args.workers < 1:
+        return _fail_usage(f"--workers must be >= 1, got {args.workers}")
+    if args.frames < 1:
+        return _fail_usage(f"--frames must be >= 1, got {args.frames}")
+    return None
+
+
 def _cmd_fleet(args):
+    error = _validate_fleet(args)
+    if error is not None:
+        return error
     from repro.fleet import Deployment, FleetRunner
 
     deployment = Deployment.ring(
@@ -70,16 +90,68 @@ def _cmd_fleet(args):
         bandwidth_mhz=args.bandwidth,
         n_frames=args.frames,
     )
-    runner = FleetRunner(
+    with FleetRunner(
         deployment, scheme=args.scheme, workers=args.workers, seed=args.seed
-    )
-    report = runner.run(payload_length=args.payload)
+    ) as runner:
+        report = runner.run(payload_length=args.payload)
     print(
         f"FleetReport: {report.n_tags} tag(s), scheme={report.scheme}, "
         f"{args.bandwidth} MHz ({args.venue})"
     )
     print(report.format_table())
     return 0
+
+
+def _cmd_chaos(args):
+    if not 0.0 <= args.max_severity <= 1.0:
+        return _fail_usage(
+            f"--max-severity must be in [0, 1], got {args.max_severity}"
+        )
+    from repro.faults.chaos import CHAOS_KINDS, run_chaos
+
+    kinds = args.kinds.split(",") if args.kinds else None
+    if kinds:
+        for kind in kinds:
+            if kind not in CHAOS_KINDS:
+                return _fail_usage(
+                    f"unknown chaos kind {kind!r}; choose from "
+                    f"{', '.join(CHAOS_KINDS)}"
+                )
+    report = run_chaos(
+        output=args.output,
+        smoke=args.smoke,
+        seed=args.seed,
+        max_severity=args.max_severity,
+        kinds=kinds,
+        fleet=not args.no_fleet,
+    )
+    noop_ok = "OK" if report["noop_contract"]["passed"] else "FAILED"
+    print(f"chaos: no-op contract {noop_ok}")
+    for sweep in report["sweeps"]:
+        goodputs = ", ".join(
+            f"{(p['goodput_bps'] or 0.0) / 1e3:.1f}" for p in sweep["points"]
+        )
+        if sweep["monotone_goodput"]:
+            flag = "monotone"
+        elif sweep["monotone_required"]:
+            flag = "NOT MONOTONE"
+        else:
+            flag = "non-monotone (threshold fault, not gated)"
+        print(f"chaos: {sweep['kind']:8s} goodput kbps [{goodputs}] {flag}")
+    if "fleet" in report:
+        fleet = report["fleet"]
+        print(
+            f"chaos: fleet resilience "
+            f"{'OK' if fleet['passed'] else 'FAILED'} "
+            f"(retried {fleet['retried_tasks']}, "
+            f"timed out {fleet['timed_out_tasks']}, "
+            f"scratch regenerations "
+            f"{fleet['scratch_corruption']['integrity_failures']})"
+        )
+    print(f"chaos: {'PASSED' if report['passed'] else 'FAILED'}")
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0 if report["passed"] else 1
 
 
 def _cmd_bench(args):
@@ -159,6 +231,35 @@ def build_parser():
         "bit-identical for any value)",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweeps and degradation curves"
+    )
+    chaos.add_argument("--output", default="CHAOS_PR3.json")
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: short capture, 3 severity points",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--max-severity",
+        type=float,
+        default=1.0,
+        help="top of the severity sweep, in [0, 1]",
+    )
+    chaos.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated fault kinds (default: all); "
+        "dropout, jammer, impulse, clipping, drift",
+    )
+    chaos.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the fleet-resilience experiment (fastest)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser("bench", help="benchmark the DSP hot path")
     bench.add_argument("--output", default="BENCH_PR2.json")

@@ -53,6 +53,15 @@ class SystemConfig:
     #: 0 models a perfect LO; real crystals are +-(0.1-1) ppm and the UE
     #: estimates/corrects the resulting CFO from the cyclic prefix.
     ue_cfo_ppm: float = 0.0
+    #: Optional :class:`repro.faults.plan.FaultPlan` — seeded carrier and
+    #: tag fault injection at the stage boundaries.  ``None`` (and any
+    #: all-zero plan) leaves the pipeline bit-identical to the clean run.
+    faults: object = None
+    #: Receiver erasure detection: fraction of *known* preamble chips a
+    #: packet may mis-slice before its windows are declared erasures
+    #: (sync loss) instead of bits.  ``None`` disables (legacy behaviour);
+    #: 0.35 is a robust default when fault injection is in play.
+    erasure_threshold: float = None
 
     def __post_init__(self):
         if self.enb_to_ue_ft is None:
@@ -61,6 +70,13 @@ class SystemConfig:
             raise ValueError("sync_mode must be 'circuit' or 'model'")
         if self.reference_mode not in ("decoded", "genie"):
             raise ValueError("reference_mode must be 'decoded' or 'genie'")
+        if self.erasure_threshold is not None and not (
+            0.0 <= float(self.erasure_threshold) <= 1.0
+        ):
+            raise ValueError(
+                f"erasure_threshold must be in [0, 1] or None, "
+                f"got {self.erasure_threshold!r}"
+            )
 
     @property
     def params(self):

@@ -23,6 +23,13 @@ class LinkReport:
     duration_seconds: float
     n_windows: int = 0
     n_lost_windows: int = 0
+    #: Windows the receiver marked as erasures (sync loss detected via
+    #: preamble-correlation collapse).  Excluded from ``n_bits`` — they
+    #: feed link-layer retransmission, not the BER denominator.
+    n_erased_windows: int = 0
+    #: True when the tag never acquired sync (no comparator edges) and
+    #: therefore never transmitted.
+    sync_failed: bool = False
     sync_error_us: float = float("nan")
     lte_block_error_rate: float = float("nan")
     lte_throughput_bps: float = float("nan")
@@ -79,27 +86,66 @@ def align_windows(schedule_windows, demod_starts, tolerance):
     return [(s_index, matched[s_index]) for s_index in data_indices]
 
 
+@dataclass
+class BerBreakdown:
+    """Erasure-aware bit accounting for one schedule/demod pair.
+
+    ``n_bits``/``n_errors`` cover only windows the receiver *claimed* to
+    demodulate; erasure-marked windows (sync loss detected) are excluded
+    from both and counted in ``n_erased`` — they carry no garbage bits
+    into the BER, and the link layer treats them as frames to retransmit.
+    """
+
+    n_bits: int = 0
+    n_errors: int = 0
+    n_windows: int = 0
+    n_lost: int = 0
+    n_erased: int = 0
+
+
+def measure_link(schedule, demod_result, tolerance):
+    """Erasure-aware window accounting; returns a :class:`BerBreakdown`.
+
+    Unmatched (lost) windows count every bit as errored — the receiver
+    emitted bits for them and got none right.  Windows the receiver
+    explicitly flagged as erasures (``demod_result.window_erased``) are
+    excluded from the bit counts entirely: declaring "I lost sync here"
+    is honest signalling, not garbage delivery.
+    """
+    pairs = align_windows(schedule.windows, demod_result.starts, tolerance)
+    erased_flags = getattr(demod_result, "window_erased", None)
+    out = BerBreakdown(n_windows=len(pairs))
+    for s_index, d_index in pairs:
+        sent = schedule.windows[s_index].bits
+        if d_index is not None and erased_flags and erased_flags[d_index]:
+            out.n_erased += 1
+            continue
+        out.n_bits += len(sent)
+        if d_index is None:
+            out.n_errors += len(sent)
+            out.n_lost += 1
+            continue
+        received = demod_result.window_bits[d_index]
+        if len(received) != len(sent):
+            out.n_errors += len(sent)
+            out.n_lost += 1
+            continue
+        out.n_errors += int(np.sum(received != sent))
+    return out
+
+
 def measure_ber(schedule, demod_result, tolerance):
     """Count bit errors between a tag schedule and a demodulation result.
 
     Unmatched (lost) windows count every bit as errored.
-    Returns ``(n_bits, n_errors, n_windows, n_lost)``.
+    Returns ``(n_bits, n_errors, n_windows, n_lost)`` — the legacy view of
+    :func:`measure_link` (erased windows, if any, are excluded from the
+    bit counts there too).
     """
-    pairs = align_windows(schedule.windows, demod_result.starts, tolerance)
-    n_bits = 0
-    n_errors = 0
-    n_lost = 0
-    for s_index, d_index in pairs:
-        sent = schedule.windows[s_index].bits
-        n_bits += len(sent)
-        if d_index is None:
-            n_errors += len(sent)
-            n_lost += 1
-            continue
-        received = demod_result.window_bits[d_index]
-        if len(received) != len(sent):
-            n_errors += len(sent)
-            n_lost += 1
-            continue
-        n_errors += int(np.sum(received != sent))
-    return n_bits, n_errors, len(pairs), n_lost
+    breakdown = measure_link(schedule, demod_result, tolerance)
+    return (
+        breakdown.n_bits,
+        breakdown.n_errors,
+        breakdown.n_windows,
+        breakdown.n_lost,
+    )

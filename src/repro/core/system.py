@@ -24,14 +24,16 @@ from repro.channel.fading import FadingChannel, venue_k_factor_db
 from repro.channel.link import BackscatterLink, DirectLink
 from repro.channel.noise import add_thermal_noise
 from repro.core.config import SystemConfig
-from repro.core.metrics import LinkReport, measure_ber
+from repro.core.metrics import LinkReport, measure_link
+from repro.faults.carrier import CarrierFaultSet
+from repro.faults.tag import TagFaultInjector, drift_per_half_frame_samples
 from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
 from repro.lte.frame import FrameBuilder
 from repro.lte.params import FRAME_SECONDS, SUBFRAMES_PER_FRAME
 from repro.lte.ofdm import modulate_frame
 from repro.lte.receiver import LteReceiver
 from repro.lte.transmitter import LteTransmitter
-from repro.tag.controller import TagController
+from repro.tag.controller import ChipSchedule, TagController
 from repro.tag.modulator import ChipModulator
 from repro.tag.sync_circuit import SyncCircuit
 from repro.utils.rng import make_rng, spawn_rngs
@@ -84,7 +86,10 @@ class LScatterSystem:
         self.budget = self.config.budget()
         self.controller = TagController(self.params, rng=self.rng)
         self.modulator = ChipModulator()
-        self.demodulator = BackscatterDemodulator(self.params)
+        self.demodulator = BackscatterDemodulator(
+            self.params,
+            erasure_threshold=getattr(self.config, "erasure_threshold", None),
+        )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -104,15 +109,23 @@ class LScatterSystem:
             k_db=k_db, n_taps=n_taps, decay_db_per_tap=5.0, rng=rng
         )
 
-    def _sync_error_samples(self, ambient_at_tag, rng):
-        """Residual timing error of the tag, per the configured mode."""
+    def _sync_error_samples(self, ambient_at_tag, rng, edge_fault=None):
+        """Residual timing error of the tag, per the configured mode.
+
+        Returns ``(error_samples, sync_result)``; ``error_samples`` is
+        ``None`` when the circuit detected no PSS edges at all (sync
+        acquisition failed) — the tag then never transmits, and the run
+        degrades to an empty schedule instead of raising.
+        """
         config = self.config
         fs = self.params.sample_rate_hz
         if config.sync_error_samples is not None:
             return int(config.sync_error_samples), None
         if config.sync_mode == "circuit":
-            circuit = SyncCircuit(fs, rng=rng)
+            circuit = SyncCircuit(fs, rng=rng, edge_fault=edge_fault)
             result = circuit.process(ambient_at_tag)
+            if len(result.edges) == 0:
+                return None, result
             timing = self.controller.timing_from_sync(
                 result, true_half_frame_start=0
             )
@@ -212,12 +225,38 @@ class LScatterSystem:
             payload_bits = rng_payload.integers(0, 2, size=int(payload_length))
         payload_bits = np.asarray(payload_bits, dtype=np.int8)
 
+        # Fault injection: all fault randomness lives in streams derived
+        # from the plan's own seed (FaultPlan.rng_for), never in the six
+        # simulation streams above — an all-zero plan is a bit-identical
+        # no-op by construction.
+        fault_plan = getattr(config, "faults", None)
+        carrier_faults = (
+            CarrierFaultSet(fault_plan) if fault_plan is not None else None
+        )
+        edge_fault = (
+            TagFaultInjector(fault_plan.tag, rng=fault_plan.rng_for("tag"))
+            if fault_plan is not None
+            else None
+        )
+        drift_per_half_frame = (
+            drift_per_half_frame_samples(fault_plan.tag, self.params)
+            if fault_plan is not None
+            else 0.0
+        )
+
         # 1. eNodeB transmission, normalised to unit mean sample power
         #    (or injected, already normalised, from a shared ambient stage).
         if ambient is None:
             ambient = self.prepare_ambient(rng=rng_tx)
         capture = ambient.capture
         unit = ambient.unit
+        if carrier_faults is not None:
+            # Ambient dropout happens at the eNodeB: both the tag and the
+            # UE lose the carrier in the gap windows.  The reconstruction
+            # reference stays clean (capture.samples), which is the honest
+            # receiver view — during a gap it divides by a waveform that
+            # never arrived and the preamble collapse marks the erasure.
+            unit = carrier_faults.apply_ambient(unit)
 
         # 2. Channels.
         bs_link = BackscatterLink(
@@ -246,16 +285,31 @@ class LScatterSystem:
 
         # 3. Tag: sync, schedule, reflect.
         error_samples, sync_result = self._sync_error_samples(
-            ambient_at_tag_noisy, rng_sync
+            ambient_at_tag_noisy, rng_sync, edge_fault=edge_fault
         )
-        timing = self.controller.genie_timing(0, error_samples)
-        schedule = self.controller.build_schedule(
-            timing, len(unit), payload_bits, owned_half_frames=owned_half_frames
-        )
+        sync_failed = error_samples is None
+        if sync_failed:
+            # The comparator never fired: the tag cannot place a single
+            # half-frame and stays silent (constant '1' chips, no windows)
+            # rather than spraying mistimed chips over the capture.
+            schedule = ChipSchedule(chips=np.ones(len(unit), dtype=np.int8))
+        else:
+            timing = self.controller.genie_timing(0, error_samples)
+            schedule = self.controller.build_schedule(
+                timing,
+                len(unit),
+                payload_bits,
+                owned_half_frames=owned_half_frames,
+                drift_per_half_frame=drift_per_half_frame,
+            )
         reflected = self.modulator.reflect(ambient_at_tag, schedule.chips)
 
         # 4. Receive both bands at the UE.
         shifted_rx = bs_link.apply_from_tag(reflected)
+        if carrier_faults is not None:
+            # Jammer bursts, impulsive noise and ADC clipping hit the
+            # backscatter band's receive chain, where the signal is weakest.
+            shifted_rx = carrier_faults.apply_backscatter(shifted_rx)
         direct_rx = direct_link.apply(unit)
         # Structural (unmodulated, in-band) tag reflection leaks into the
         # direct band as weak extra multipath.
@@ -300,20 +354,24 @@ class LScatterSystem:
 
         # 7. Metrics.
         tolerance = self.params.fft_size // 2
-        n_bits, n_errors, n_windows, n_lost = measure_ber(
-            schedule, demod, tolerance
-        )
+        breakdown = measure_link(schedule, demod, tolerance)
         # Throughput is measured over the time the tag actually had
         # scheduled (whole half-frames); a capture's ragged edge would
         # otherwise bias short simulations low.
         scheduled_seconds = schedule.n_half_frames * (FRAME_SECONDS / 2.0)
         report = LinkReport(
-            n_bits=n_bits,
-            n_errors=n_errors,
+            n_bits=breakdown.n_bits,
+            n_errors=breakdown.n_errors,
             duration_seconds=scheduled_seconds or capture.duration_seconds,
-            n_windows=n_windows,
-            n_lost_windows=n_lost,
-            sync_error_us=error_samples / self.params.sample_rate_hz * 1e6,
+            n_windows=breakdown.n_windows,
+            n_lost_windows=breakdown.n_lost,
+            n_erased_windows=breakdown.n_erased,
+            sync_failed=sync_failed,
+            sync_error_us=(
+                float("nan")
+                if sync_failed
+                else error_samples / self.params.sample_rate_hz * 1e6
+            ),
         )
         if lte_result is not None:
             report.lte_block_error_rate = lte_result.block_error_rate

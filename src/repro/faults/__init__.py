@@ -1,0 +1,58 @@
+"""Deterministic, seeded fault injection for every stage boundary.
+
+The paper's premise is an *uncontrolled* ambient carrier; this package
+makes the uncontrolled part first-class:
+
+* :mod:`repro.faults.plan` — composable fault specifications
+  (:class:`FaultPlan` = carrier + tag faults; :class:`InfraFaults` for the
+  fleet substrate), with the hard contract that rate/severity 0 is a
+  bit-identical no-op;
+* :mod:`repro.faults.carrier` — IQ-stream injectors: ambient dropout
+  windows, narrowband jammer bursts, impulsive noise, ADC clipping;
+* :mod:`repro.faults.tag` — sync-chain injectors: PSS miss, comparator
+  false fire, clock drift beyond the guard;
+* :mod:`repro.faults.infra` — fleet-substrate injectors: worker crash,
+  worker hang, scratch-file corruption;
+* :mod:`repro.faults.chaos` — the ``repro chaos`` harness sweeping fault
+  severity into degradation curves (``CHAOS_PR3.json``).  Imported lazily
+  (``from repro.faults.chaos import run_chaos``) because it depends on the
+  full pipeline.
+
+Attach a :class:`FaultPlan` via ``SystemConfig(faults=...)``; graceful
+degradation on the receive side (erasure marking, PSS re-acquisition) is
+enabled with ``SystemConfig(erasure_threshold=...)``.
+"""
+
+from repro.faults.carrier import (
+    AdcClipper,
+    AmbientDropout,
+    CarrierFaultSet,
+    ImpulsiveNoise,
+    NarrowbandJammer,
+)
+from repro.faults.infra import (
+    FaultyTask,
+    InjectedWorkerCrash,
+    bitflip_file,
+    truncate_file,
+)
+from repro.faults.plan import CarrierFaults, FaultPlan, InfraFaults, TagFaults
+from repro.faults.tag import TagFaultInjector, drift_per_half_frame_samples
+
+__all__ = [
+    "AdcClipper",
+    "AmbientDropout",
+    "CarrierFaultSet",
+    "ImpulsiveNoise",
+    "NarrowbandJammer",
+    "FaultyTask",
+    "InjectedWorkerCrash",
+    "bitflip_file",
+    "truncate_file",
+    "CarrierFaults",
+    "FaultPlan",
+    "InfraFaults",
+    "TagFaults",
+    "TagFaultInjector",
+    "drift_per_half_frame_samples",
+]

@@ -1,0 +1,69 @@
+"""Tag-side fault injectors: the analog sync chain and the tag clock.
+
+The synchronization survey literature identifies sync loss/re-acquisition
+as the dominant failure mode for low-power backscatter; these injectors
+reproduce the three concrete mechanisms:
+
+* **PSS miss** — the comparator fails to fire on a boosted sync symbol
+  (low overdrive, envelope ripple); modelled as dropping detected edges.
+* **Comparator false fire** — a data burst charges the RC fast enough to
+  trip the comparator between sync symbols; modelled as spurious edges.
+  The controller's median folding rejects occasional false fires; a high
+  rate degrades the timing estimate.
+* **Clock drift** — the tag's oscillator walks off between PSS events;
+  the controller exposes it as an accumulating per-half-frame offset
+  (``drift_per_half_frame``), which past the guard slack collapses the
+  receiver's preamble correlation and surfaces as erasures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+#: The PSS repeats every half-frame (5 ms).
+HALF_FRAME_SECONDS = 5e-3
+
+
+class TagFaultInjector:
+    """Perturb a :class:`~repro.tag.sync_circuit.SyncCircuit` edge train.
+
+    Callable with ``(edges, n_samples, sample_rate_hz)``; at zero rates it
+    returns the edges unchanged.  Uses its own RNG stream so attaching it
+    never perturbs the circuit's jitter draws.
+    """
+
+    def __init__(self, faults, rng=None):
+        self.faults = faults
+        self.rng = make_rng(rng)
+
+    @property
+    def active(self):
+        return self.faults.pss_miss_rate > 0.0 or self.faults.false_fire_rate > 0.0
+
+    def __call__(self, edges, n_samples, sample_rate_hz):
+        edges = np.asarray(edges, dtype=np.int64)
+        faults = self.faults
+        if faults.pss_miss_rate > 0.0 and len(edges):
+            keep = self.rng.random(len(edges)) >= faults.pss_miss_rate
+            edges = edges[keep]
+        if faults.false_fire_rate > 0.0 and n_samples > 0:
+            n_halves = max(
+                1, int(n_samples / float(sample_rate_hz) / HALF_FRAME_SECONDS)
+            )
+            n_false = int(self.rng.binomial(n_halves, faults.false_fire_rate))
+            if n_false:
+                spurious = self.rng.integers(0, n_samples, size=n_false)
+                edges = np.unique(np.concatenate([edges, spurious]))
+        return edges
+
+
+def drift_per_half_frame_samples(faults, params):
+    """Clock-drift accumulation per half-frame, in samples.
+
+    ``clock_drift_ppm`` of the tag clock over one 5 ms half-frame; the
+    controller adds ``k * drift`` to the k-th half-frame's chip windows.
+    """
+    half_frame_samples = params.samples_per_frame / 2.0
+    return faults.clock_drift_ppm * 1e-6 * half_frame_samples

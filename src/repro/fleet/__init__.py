@@ -22,9 +22,9 @@ Entry points: ``repro fleet`` on the command line, experiment id
 ``fleetn`` in the registry.
 """
 
-from repro.fleet.ambient import AmbientCache, AmbientHandle
+from repro.fleet.ambient import AmbientCache, AmbientHandle, AmbientIntegrityError
 from repro.fleet.deployment import Deployment, TagPlacement
-from repro.fleet.engine import EngineTelemetry, ParallelRunEngine
+from repro.fleet.engine import EngineTelemetry, ParallelRunEngine, TaskFailure
 from repro.fleet.report import FleetReport, TagResult
 from repro.fleet.runner import FleetRunner
 from repro.fleet.scheduler import (
@@ -37,6 +37,8 @@ from repro.fleet.scheduler import (
 __all__ = [
     "AmbientCache",
     "AmbientHandle",
+    "AmbientIntegrityError",
+    "TaskFailure",
     "Deployment",
     "TagPlacement",
     "EngineTelemetry",

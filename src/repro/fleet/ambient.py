@@ -12,6 +12,14 @@ For multi-process fleet runs the unit-power samples are additionally
 spilled to a binary scratch file; :class:`AmbientHandle` carries the path
 and workers re-open it with ``numpy.memmap`` read-only — the ambient is
 shared by the page cache instead of being pickled into every worker.
+
+The scratch file lives in tempdir territory where anything can happen to
+it (eviction, truncation by a full disk, a crashed writer).  Every spill
+records size and CRC-32; :meth:`AmbientCache.handle` re-verifies the file
+before vending a handle and silently regenerates it on mismatch
+(``integrity_failures`` counts the events), while
+:meth:`AmbientHandle.load` fails loudly with the path and expected byte
+count — a worker cannot regenerate, only report.
 """
 
 from __future__ import annotations
@@ -25,6 +33,14 @@ import numpy as np
 from repro.core.system import AmbientStage, LScatterSystem
 from repro.lte.params import LteParams
 from repro.lte.transmitter import LteCapture
+from repro.utils.integrity import crc32_file
+
+#: Bytes per complex128 sample in the scratch spill.
+_BYTES_PER_SAMPLE = 16
+
+
+class AmbientIntegrityError(RuntimeError):
+    """A shared-ambient scratch file is missing, truncated, or corrupt."""
 
 
 @dataclass(frozen=True)
@@ -52,9 +68,40 @@ class AmbientHandle:
     #: Genie frame records, only populated when the per-tag stage needs
     #: them (``reference_mode='decoded'``); pickled with the handle.
     frames: list = field(default_factory=list)
+    #: CRC-32 of the spill, recorded at write time; ``None`` skips the
+    #: content check (size is always verified).
+    checksum: int = None
+
+    @property
+    def expected_bytes(self):
+        return int(self.n_samples) * _BYTES_PER_SAMPLE
+
+    def verify(self):
+        """Raise :class:`AmbientIntegrityError` unless the spill is intact."""
+        if not os.path.exists(self.path):
+            raise AmbientIntegrityError(
+                f"shared ambient scratch file {self.path!r} is missing "
+                f"(expected {self.expected_bytes} bytes for "
+                f"{self.n_samples} complex128 samples); the parent cache "
+                "may have been cleared while workers were running"
+            )
+        actual = os.path.getsize(self.path)
+        if actual != self.expected_bytes:
+            raise AmbientIntegrityError(
+                f"shared ambient scratch file {self.path!r} is truncated: "
+                f"{actual} bytes on disk, expected {self.expected_bytes} "
+                f"({self.n_samples} complex128 samples)"
+            )
+        if self.checksum is not None and crc32_file(self.path) != self.checksum:
+            raise AmbientIntegrityError(
+                f"shared ambient scratch file {self.path!r} failed its "
+                f"CRC-32 check ({self.expected_bytes} bytes, size intact): "
+                "contents were modified after the spill"
+            )
 
     def load(self):
         """Re-open the shared samples and rebuild an :class:`AmbientStage`."""
+        self.verify()
         unit = np.memmap(self.path, dtype=np.complex128, mode="r",
                          shape=(self.n_samples,))
         capture = LteCapture(
@@ -69,7 +116,9 @@ class AmbientHandle:
 @dataclass
 class _Entry:
     stage: AmbientStage
-    path: str | None = None
+    path: str = None
+    checksum: int = None
+    n_bytes: int = 0
 
 
 class AmbientCache:
@@ -80,6 +129,8 @@ class AmbientCache:
         self._scratch_dir = scratch_dir
         #: How many times ``LteTransmitter.transmit`` actually ran.
         self.transmit_calls = 0
+        #: Scratch files found missing/corrupt and regenerated.
+        self.integrity_failures = 0
 
     def __len__(self):
         return len(self._entries)
@@ -115,23 +166,55 @@ class AmbientCache:
             self._entries[key] = entry
         return entry
 
+    def _spill(self, entry):
+        """Write the entry's unit samples to a fresh scratch file."""
+        fd, path = tempfile.mkstemp(
+            prefix="lscatter-ambient-", suffix=".iq", dir=self._scratch_dir
+        )
+        with os.fdopen(fd, "wb") as fh:
+            np.ascontiguousarray(entry.stage.unit, dtype=np.complex128).tofile(fh)
+        entry.path = path
+        entry.n_bytes = os.path.getsize(path)
+        entry.checksum = crc32_file(path)
+
+    def _spill_intact(self, entry):
+        if entry.path is None:
+            return False
+        try:
+            return (
+                os.path.getsize(entry.path) == entry.n_bytes
+                and crc32_file(entry.path) == entry.checksum
+            )
+        except OSError:
+            return False
+
     def handle(self, config, seed, include_frames=False):
-        """An :class:`AmbientHandle` for worker processes (spills to disk)."""
+        """An :class:`AmbientHandle` for worker processes (spills to disk).
+
+        An existing spill is re-verified (size + CRC-32) on every call; a
+        missing, truncated, or bit-flipped file is regenerated from the
+        in-memory stage and counted in ``integrity_failures``.
+        """
         key = self.key_for(config, seed)
         entry = self._entry(config, seed)
+        if entry.path is not None and not self._spill_intact(entry):
+            self.integrity_failures += 1
+            old = entry.path
+            entry.path = None
+            if os.path.exists(old):
+                try:
+                    os.unlink(old)
+                except OSError:
+                    pass
         if entry.path is None:
-            fd, path = tempfile.mkstemp(
-                prefix="lscatter-ambient-", suffix=".iq", dir=self._scratch_dir
-            )
-            with os.fdopen(fd, "wb") as fh:
-                np.ascontiguousarray(entry.stage.unit, dtype=np.complex128).tofile(fh)
-            entry.path = path
+            self._spill(entry)
         return AmbientHandle(
             path=entry.path,
             n_samples=len(entry.stage.unit),
             bandwidth_mhz=key.bandwidth_mhz,
             cell=key.cell,
             frames=list(entry.stage.capture.frames) if include_frames else [],
+            checksum=entry.checksum,
         )
 
     def clear(self):
@@ -140,6 +223,17 @@ class AmbientCache:
             if entry.path is not None and os.path.exists(entry.path):
                 os.unlink(entry.path)
         self._entries.clear()
+
+    def close(self):
+        """Release scratch files; the cache stays usable (repopulates)."""
+        self.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
     def __del__(self):
         try:

@@ -6,20 +6,42 @@ Design rules:
   its own pre-spawned seed; results are keyed by task index, so the output
   order (and every bit of every result) is identical for any worker count.
 * **Resilience** — a task whose worker dies (``BrokenProcessPool``, a
-  killed container child, a pickling surprise) is retried *in the parent
-  process*; the task is pure, so the retry reproduces exactly what the
-  worker would have produced.
+  killed container child, a pickling surprise) or exceeds the timeout
+  budget is retried *in the parent process* with bounded exponential
+  backoff; the task is pure, so the retry reproduces exactly what the
+  worker would have produced.  Completions are harvested with
+  ``as_completed`` so one slow or hung worker never serialises the
+  others' results.
+* **Partial results** — with ``on_error='partial'`` a task that fails
+  every retry yields a :class:`TaskFailure` sentinel in its slot instead
+  of raising, so a fleet report can record the casualty and keep the
+  other tags' results.
 * **Fallback** — if the platform cannot spawn processes at all, the whole
   batch degrades to the serial path instead of failing.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+
+#: Grace added to the pool timeout budget for executor spin-up.
+_POOL_SPINUP_GRACE_SECONDS = 1.0
+
+
+@dataclass
+class TaskFailure:
+    """Sentinel result for a task that failed every retry (partial mode)."""
+
+    index: int
+    error: str
+    attempts: int = 0
+    timed_out: bool = False
 
 
 @dataclass
@@ -32,6 +54,13 @@ class EngineTelemetry:
     task_seconds: float = 0.0
     retried: int = 0
     fell_back_serial: bool = False
+    #: Tasks harvested past the timeout budget (hung workers).
+    timed_out: int = 0
+    #: Tasks that exhausted every retry (partial mode only; raise mode
+    #: propagates instead of counting).
+    failed: int = 0
+    #: Total backoff sleep between retry attempts.
+    backoff_seconds: float = 0.0
 
     @property
     def speedup(self):
@@ -47,11 +76,25 @@ class ParallelRunEngine:
 
     workers: int = 1
     max_retries: int = 1
+    #: Per-task wall-clock budget; ``None`` waits forever.  The pool
+    #: budget scales with queueing depth (``ceil(n_tasks / workers)``
+    #: waves) so a full batch on few workers is not mis-flagged.
+    task_timeout_seconds: float = None
+    #: First retry delay; doubles per attempt, capped below.  The fleet's
+    #: tasks are pure, so backoff only matters for environmental failures
+    #: (a recovering sandbox, a briefly-unspawnable pool).
+    retry_backoff_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    #: "raise" propagates a task that fails every retry; "partial" slots a
+    #: :class:`TaskFailure` sentinel and keeps the rest of the batch.
+    on_error: str = "raise"
 
     def __post_init__(self):
         if self.workers is None:
             self.workers = os.cpu_count() or 1
         self.workers = max(1, int(self.workers))
+        if self.on_error not in ("raise", "partial"):
+            raise ValueError("on_error must be 'raise' or 'partial'")
         self.telemetry = EngineTelemetry(workers=self.workers)
 
     def map(self, fn, tasks):
@@ -59,12 +102,14 @@ class ParallelRunEngine:
 
         ``fn(task)`` must return ``(elapsed_seconds, result)`` so the
         telemetry can compare wall time against serial-equivalent time.
+        Slots of tasks that exhausted every retry hold
+        :class:`TaskFailure` when ``on_error='partial'``.
         """
         tasks = list(tasks)
         telemetry = self.telemetry
         start = time.perf_counter()
         if self.workers <= 1 or len(tasks) <= 1:
-            results = [self._run_local(fn, task) for task in tasks]
+            results = self._run_serial(fn, tasks)
         else:
             try:
                 results = self._run_pool(fn, tasks)
@@ -72,8 +117,19 @@ class ParallelRunEngine:
                 # The pool itself could not be (re)built — e.g. a sandbox
                 # with no process spawning. Finish the batch serially.
                 telemetry.fell_back_serial = True
-                results = [self._run_local(fn, task) for task in tasks]
+                results = self._run_serial(fn, tasks)
         telemetry.wall_seconds = time.perf_counter() - start
+        return results
+
+    # -- serial path -------------------------------------------------------------
+
+    def _run_serial(self, fn, tasks):
+        results = [None] * len(tasks)
+        for index in range(len(tasks)):
+            try:
+                results[index] = self._run_local(fn, tasks[index])
+            except Exception as exc:
+                self._recover(fn, tasks, index, results, first_error=exc)
         return results
 
     def _run_local(self, fn, task):
@@ -81,36 +137,99 @@ class ParallelRunEngine:
         self.telemetry.task_seconds += elapsed
         return result
 
+    # -- pool path ---------------------------------------------------------------
+
+    def _pool_budget_seconds(self, n_tasks):
+        if self.task_timeout_seconds is None:
+            return None
+        waves = max(1, math.ceil(n_tasks / self.workers))
+        return self.task_timeout_seconds * waves + _POOL_SPINUP_GRACE_SECONDS
+
+    @staticmethod
+    def _terminate_workers(pool):
+        """Kill hung worker processes so pool shutdown cannot block."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
     def _run_pool(self, fn, tasks):
         telemetry = self.telemetry
         results = [None] * len(tasks)
-        pending = list(range(len(tasks)))
+        harvested = set()
+        recover = []  # (index, timed_out)
+        budget = self._pool_budget_seconds(len(tasks))
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {pool.submit(fn, tasks[i]): i for i in pending}
-            failed = []
-            for future, index in futures.items():
-                try:
-                    elapsed, result = future.result()
-                except BrokenProcessPool:
-                    failed.append(index)
-                    continue
-                except Exception:
-                    # A real task error reproduces serially below and, if
-                    # it is deterministic, surfaces there with a clean
-                    # parent-process traceback.
-                    failed.append(index)
-                    continue
-                telemetry.task_seconds += elapsed
-                results[index] = result
-        for index in failed:
-            retries = 0
-            while True:
-                try:
-                    results[index] = self._run_local(fn, tasks[index])
-                    telemetry.retried += 1
-                    break
-                except Exception:
-                    retries += 1
-                    if retries > self.max_retries:
-                        raise
+            futures = {pool.submit(fn, tasks[i]): i for i in range(len(tasks))}
+            try:
+                # as_completed: results land as workers finish — one slow
+                # or hung task no longer gates every later submission.
+                for future in as_completed(futures, timeout=budget):
+                    index = futures[future]
+                    harvested.add(index)
+                    try:
+                        elapsed, result = future.result()
+                    except Exception:
+                        # Worker death or a real task error: reproduce in
+                        # the parent below, where a deterministic failure
+                        # surfaces with a clean traceback.
+                        recover.append((index, False))
+                    else:
+                        telemetry.task_seconds += elapsed
+                        results[index] = result
+            except FuturesTimeout:
+                for future, index in futures.items():
+                    if index in harvested:
+                        continue
+                    harvested.add(index)
+                    if future.done():
+                        # Completed in the race with the deadline.
+                        try:
+                            elapsed, result = future.result()
+                        except Exception:
+                            recover.append((index, False))
+                        else:
+                            telemetry.task_seconds += elapsed
+                            results[index] = result
+                        continue
+                    future.cancel()
+                    telemetry.timed_out += 1
+                    recover.append((index, True))
+                self._terminate_workers(pool)
+        for index, timed_out in sorted(recover):
+            self._recover(fn, tasks, index, results, timed_out=timed_out)
         return results
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _recover(self, fn, tasks, index, results, first_error=None, timed_out=False):
+        """Re-run one task in the parent with bounded exponential backoff."""
+        telemetry = self.telemetry
+        delay = max(0.0, float(self.retry_backoff_seconds))
+        last_error = first_error
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            if attempt and delay > 0:
+                pause = min(delay, float(self.backoff_cap_seconds))
+                time.sleep(pause)
+                telemetry.backoff_seconds += pause
+                delay *= 2.0
+            attempts += 1
+            try:
+                results[index] = self._run_local(fn, tasks[index])
+                telemetry.retried += 1
+                return
+            except Exception as exc:
+                last_error = exc
+        telemetry.failed += 1
+        if self.on_error == "partial":
+            results[index] = TaskFailure(
+                index=index,
+                error=f"{type(last_error).__name__}: {last_error}",
+                attempts=attempts,
+                timed_out=timed_out,
+            )
+            return
+        raise last_error

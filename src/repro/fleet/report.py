@@ -24,6 +24,13 @@ class TagResult:
     collided_half_frames: int = 0
     #: Wall-clock cost of this tag's simulation stage.
     elapsed_seconds: float = 0.0
+    #: Receiver windows declared erasures (sync loss) — airtime that
+    #: carried no countable bits; excluded from BER by construction.
+    n_erased_windows: int = 0
+    #: Set when the tag's task exhausted every retry (partial mode); the
+    #: counters above are then all zero and ``error`` says why.
+    failed: bool = False
+    error: str = ""
 
     @property
     def ber(self):
@@ -66,6 +73,10 @@ class FleetReport:
     serial_seconds_estimate: float = 0.0
     speedup: float = 1.0
     retried_tasks: int = 0
+    #: Tags whose tasks failed every retry (partial mode only).
+    failed_tags: int = 0
+    #: Tasks harvested past the per-task timeout budget (hung workers).
+    timed_out_tasks: int = 0
     #: How many times the eNodeB capture was actually generated.
     transmit_invocations: int = 0
 
@@ -95,6 +106,12 @@ class FleetReport:
         )
         lines = [header]
         for t in self.tags:
+            if t.failed:
+                lines.append(
+                    f"{t.name:8s} {t.enb_to_tag_ft:7.1f} {t.tag_to_ue_ft:6.1f} "
+                    f"  FAILED: {t.error}"
+                )
+                continue
             ber = f"{t.ber:.3e}" if t.n_bits else "-"
             lines.append(
                 f"{t.name:8s} {t.enb_to_tag_ft:7.1f} {t.tag_to_ue_ft:6.1f} "
@@ -118,6 +135,11 @@ class FleetReport:
             f"(speedup {self.speedup:.2f}x), "
             f"{self.transmit_invocations} eNodeB transmit call(s)"
         )
+        if self.failed_tags or self.timed_out_tasks:
+            lines.append(
+                f"faults: {self.failed_tags} tag(s) failed, "
+                f"{self.timed_out_tasks} task(s) timed out"
+            )
         return "\n".join(lines)
 
 

@@ -11,6 +11,12 @@ The runner is the glue between the three fleet substrates:
 3. :class:`~repro.fleet.engine.ParallelRunEngine` runs one pure
    :func:`_simulate_tag` task per tag, each with a pre-spawned seed, so
    per-tag BER/throughput are bit-identical for any ``--workers`` value.
+
+For chaos testing the runner can wrap the task function in a
+:class:`~repro.faults.infra.FaultyTask` (worker-only crashes and hangs)
+and run the engine in ``partial`` mode: a tag whose task dies every retry
+becomes a ``failed=True`` :class:`~repro.fleet.report.TagResult` instead
+of sinking the whole fleet.
 """
 
 from __future__ import annotations
@@ -21,8 +27,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.system import LScatterSystem
+from repro.faults.infra import FaultyTask
 from repro.fleet.ambient import AmbientCache
-from repro.fleet.engine import ParallelRunEngine
+from repro.fleet.engine import ParallelRunEngine, TaskFailure
 from repro.fleet.report import FleetReport, TagResult, capture_seconds
 from repro.fleet.scheduler import FleetScheduler, make_scheme
 
@@ -73,6 +80,7 @@ def _simulate_tag(task):
         result.n_errors = report.n_errors
         result.n_windows = report.n_windows
         result.n_lost_windows = report.n_lost_windows
+        result.n_erased_windows = report.n_erased_windows
         result.sync_error_us = report.sync_error_us
     elapsed = time.perf_counter() - start
     result.elapsed_seconds = elapsed
@@ -90,13 +98,37 @@ class FleetRunner:
         seed=0,
         cache=None,
         max_retries=1,
+        task_timeout_seconds=None,
+        on_error="raise",
+        infra_faults=None,
     ):
         self.deployment = deployment
         self.scheme = scheme
         self.workers = workers
         self.seed = int(seed)
+        #: A caller-provided cache is shared (the caller closes it); one
+        #: we created ourselves is ours to clean up in :meth:`close`.
+        self._owns_cache = cache is None
         self.cache = cache if cache is not None else AmbientCache()
         self.max_retries = max_retries
+        self.task_timeout_seconds = task_timeout_seconds
+        self.on_error = on_error
+        #: Optional :class:`repro.faults.plan.InfraFaults` — wraps the
+        #: task function so selected tasks crash or hang *in workers only*
+        #: (parent retries stay clean and reproduce exact results).
+        self.infra_faults = infra_faults
+
+    def close(self):
+        """Release the ambient cache's scratch files if we own the cache."""
+        if self._owns_cache:
+            self.cache.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
     def _scheme(self):
         if isinstance(self.scheme, str):
@@ -125,7 +157,10 @@ class FleetRunner:
 
         base_config = deployment.base_config()
         engine = ParallelRunEngine(
-            workers=self.workers, max_retries=self.max_retries
+            workers=self.workers,
+            max_retries=self.max_retries,
+            task_timeout_seconds=self.task_timeout_seconds,
+            on_error=self.on_error,
         )
         if engine.workers > 1 and n_tags > 1:
             ambient = self.cache.handle(
@@ -153,14 +188,30 @@ class FleetRunner:
                 )
             )
 
-        results = engine.map(_simulate_tag, tasks)
+        task_fn = FaultyTask.from_faults(_simulate_tag, self.infra_faults)
+        raw = engine.map(task_fn, tasks)
+        results = []
+        for index, result in enumerate(raw):
+            if isinstance(result, TaskFailure):
+                placement = deployment.tags[index]
+                results.append(
+                    TagResult(
+                        name=placement.name,
+                        enb_to_tag_ft=placement.enb_to_tag_ft,
+                        tag_to_ue_ft=placement.tag_to_ue_ft,
+                        failed=True,
+                        error=result.error,
+                    )
+                )
+            else:
+                results.append(result)
         telemetry = engine.telemetry
         return FleetReport(
             scheme=schedule.scheme,
             n_tags=n_tags,
             n_half_frames=schedule.n_half_frames,
             duration_seconds=capture_seconds(schedule.n_half_frames),
-            tags=list(results),
+            tags=results,
             collision_fraction=schedule.collision_fraction,
             idle_fraction=schedule.idle_fraction,
             airtime_utilisation=schedule.airtime_utilisation,
@@ -169,5 +220,7 @@ class FleetRunner:
             serial_seconds_estimate=telemetry.task_seconds,
             speedup=telemetry.speedup,
             retried_tasks=telemetry.retried,
+            failed_tags=sum(1 for r in results if getattr(r, "failed", False)),
+            timed_out_tasks=telemetry.timed_out,
             transmit_invocations=self.cache.transmit_calls,
         )

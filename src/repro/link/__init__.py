@@ -11,6 +11,7 @@ envelope receiver can watch for energy-pattern acks).
 from repro.link.framing import LinkFrame, frame_payload, parse_frame, FRAME_HEADER_BITS
 from repro.link.arq import (
     BitErrorChannel,
+    ErasureChannel,
     StopAndWaitArq,
     SelectiveRepeatArq,
     ArqReport,
@@ -22,6 +23,7 @@ __all__ = [
     "parse_frame",
     "FRAME_HEADER_BITS",
     "BitErrorChannel",
+    "ErasureChannel",
     "StopAndWaitArq",
     "SelectiveRepeatArq",
     "ArqReport",

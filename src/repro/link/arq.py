@@ -39,6 +39,35 @@ class BitErrorChannel:
         return bits ^ flips.astype(np.int8)
 
 
+class ErasureChannel:
+    """A bit pipe that occasionally erases a whole frame.
+
+    Models the receiver's sync-loss erasures (see
+    :mod:`repro.bsrx.demodulator`): with probability ``erasure_rate`` the
+    frame's bits arrive as garbage — each bit flipped with probability
+    one-half — so its CRC-16 fails and ARQ retransmits, exactly as it
+    would after a marked-erased window.  Wraps any inner channel (the
+    surviving frames still see the inner BER).
+    """
+
+    def __init__(self, channel, erasure_rate, rng=None):
+        if not 0.0 <= erasure_rate <= 1.0:
+            raise ValueError("erasure_rate must be in [0, 1]")
+        self.channel = channel
+        self.erasure_rate = float(erasure_rate)
+        self.rng = make_rng(rng)
+        #: Frames erased so far (for test/report assertions).
+        self.erased_frames = 0
+
+    def transmit(self, bits):
+        out = self.channel.transmit(bits)
+        if self.erasure_rate > 0.0 and self.rng.random() < self.erasure_rate:
+            self.erased_frames += 1
+            garbage = (self.rng.random(len(out)) < 0.5).astype(np.int8)
+            out = out ^ garbage
+        return out
+
+
 @dataclass
 class ArqReport:
     """Delivery statistics of one ARQ run."""

@@ -137,7 +137,14 @@ class TagController:
         """(slot, symbol) pairs modulated per half-frame, packet-ordered."""
         return slot_plan()
 
-    def build_schedule(self, timing, n_samples, payload_bits, owned_half_frames=None):
+    def build_schedule(
+        self,
+        timing,
+        n_samples,
+        payload_bits,
+        owned_half_frames=None,
+        drift_per_half_frame=0.0,
+    ):
         """Lay chips over a capture of ``n_samples`` samples.
 
         ``payload_bits`` are consumed packet by packet until either the
@@ -148,7 +155,11 @@ class TagController:
         scheme uses to share the cell among several tags; half-frames the
         tag does not own are left unmodulated (constant '1' chips) and
         consume no payload.  ``None`` (the default) owns every half-frame.
-        Returns a :class:`ChipSchedule`.
+
+        ``drift_per_half_frame`` models tag clock drift (fault injection):
+        the k-th half-frame's chip windows shift by ``round(k * drift)``
+        samples, so a drifting clock walks the chips out of the guard
+        slack over the capture.  Returns a :class:`ChipSchedule`.
         """
         params = self.params
         payload_bits = np.asarray(payload_bits, dtype=np.int8)
@@ -177,6 +188,7 @@ class TagController:
                 half_start += half_frame_samples
                 continue
             n_half_frames += 1
+            drift = int(round(half_index * float(drift_per_half_frame)))
             for slot_symbols in plan:
                 data_symbols = len(slot_symbols) - 1
                 remaining = payload_bits[consumed:]
@@ -188,6 +200,7 @@ class TagController:
                         half_start
                         + params.useful_start(slot, sym)
                         + self.chip_offset
+                        + drift
                     )
                     if start < 0 or start + self.n_chips > n_samples:
                         continue

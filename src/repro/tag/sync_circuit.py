@@ -74,6 +74,7 @@ class SyncCircuit:
         holdoff_seconds=4e-3,
         warmup_seconds=12e-3,
         rng=None,
+        edge_fault=None,
     ):
         self.sample_rate_hz = float(sample_rate_hz)
         self.detector = detector or EnvelopeDetector(sample_rate_hz)
@@ -86,6 +87,12 @@ class SyncCircuit:
         #: comparator start-up artefacts and are suppressed.
         self.warmup_seconds = float(warmup_seconds)
         self.rng = make_rng(rng)
+        #: Optional fault hook (see :class:`repro.faults.tag.TagFaultInjector`):
+        #: called with ``(edges, n_samples, sample_rate_hz)`` after the
+        #: comparator model, so PSS misses and false fires perturb exactly
+        #: the edge train the controller folds.  Carries its own RNG — a
+        #: zero-rate injector leaves the circuit bit-identical.
+        self.edge_fault = edge_fault
 
     def process(self, samples):
         """Run the circuit over a tag-side capture; returns a SyncResult."""
@@ -119,6 +126,12 @@ class SyncCircuit:
                 np.int64
             )
             accepted = accepted[accepted < len(envelope)]
+
+        if self.edge_fault is not None:
+            accepted = np.asarray(
+                self.edge_fault(accepted, len(envelope), self.sample_rate_hz),
+                dtype=np.int64,
+            )
 
         return SyncResult(
             sample_rate_hz=self.sample_rate_hz,

@@ -1,0 +1,30 @@
+"""Cheap integrity primitives for on-disk scratch data.
+
+CRC-32 is not cryptographic — it guards against truncation, bit rot and
+stale/partial writes of the fleet's memory-mapped ambient spills, which is
+exactly the failure family the fault model injects.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def crc32_array(array):
+    """CRC-32 of an array's raw little-endian bytes."""
+    contiguous = np.ascontiguousarray(array)
+    return zlib.crc32(memoryview(contiguous).cast("B")) & 0xFFFFFFFF
+
+
+def crc32_file(path, chunk_bytes=1 << 20):
+    """CRC-32 of a file's contents, streamed in chunks."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(int(chunk_bytes))
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF

@@ -3,9 +3,11 @@
 import os
 
 import numpy as np
+import pytest
 
 from repro.core.config import SystemConfig
-from repro.fleet import AmbientCache
+from repro.faults import bitflip_file, truncate_file
+from repro.fleet import AmbientCache, AmbientIntegrityError
 
 
 def _config(**kwargs):
@@ -65,3 +67,81 @@ def test_handle_is_picklable(tmp_path):
     loaded = clone.load()
     assert len(loaded.unit) == handle.n_samples
     cache.clear()
+
+
+# -- integrity --------------------------------------------------------------------
+
+
+def test_load_missing_file_names_path_and_expected_bytes(tmp_path):
+    cache = AmbientCache(scratch_dir=tmp_path)
+    handle = cache.handle(_config(), seed=0)
+    os.unlink(handle.path)
+    with pytest.raises(AmbientIntegrityError) as excinfo:
+        handle.load()
+    message = str(excinfo.value)
+    assert handle.path in message
+    assert str(handle.expected_bytes) in message
+    assert "missing" in message
+
+
+def test_load_truncated_file_reports_both_sizes(tmp_path):
+    cache = AmbientCache(scratch_dir=tmp_path)
+    handle = cache.handle(_config(), seed=0)
+    truncate_file(handle.path, n_bytes=128)
+    with pytest.raises(AmbientIntegrityError) as excinfo:
+        handle.load()
+    message = str(excinfo.value)
+    assert "truncated" in message
+    assert "128 bytes" in message
+    assert str(handle.expected_bytes) in message
+    cache.clear()
+
+
+def test_load_detects_bitflip_via_checksum(tmp_path):
+    cache = AmbientCache(scratch_dir=tmp_path)
+    handle = cache.handle(_config(), seed=0)
+    assert handle.checksum is not None
+    bitflip_file(handle.path)
+    with pytest.raises(AmbientIntegrityError, match="CRC-32"):
+        handle.load()
+    cache.clear()
+
+
+def test_cache_regenerates_corrupt_spill(tmp_path):
+    cache = AmbientCache(scratch_dir=tmp_path)
+    first = cache.handle(_config(), seed=0)
+    bitflip_file(first.path)
+    second = cache.handle(_config(), seed=0)
+    assert cache.integrity_failures == 1
+    second.verify()  # intact again
+    stage = cache.get(_config(), seed=0)
+    np.testing.assert_array_equal(np.asarray(second.load().unit), stage.unit)
+    # Regeneration re-spills the cached stage; no new eNodeB transmit.
+    assert cache.transmit_calls == 1
+    cache.clear()
+
+
+def test_cache_regenerates_deleted_spill(tmp_path):
+    cache = AmbientCache(scratch_dir=tmp_path)
+    first = cache.handle(_config(), seed=0)
+    os.unlink(first.path)
+    second = cache.handle(_config(), seed=0)
+    assert cache.integrity_failures == 1
+    assert os.path.exists(second.path)
+    cache.clear()
+
+
+def test_close_and_context_manager_release_scratch(tmp_path):
+    with AmbientCache(scratch_dir=tmp_path) as cache:
+        handle = cache.handle(_config(), seed=0)
+        assert os.path.exists(handle.path)
+    assert not os.path.exists(handle.path)
+
+    cache = AmbientCache(scratch_dir=tmp_path)
+    handle = cache.handle(_config(), seed=0)
+    cache.close()
+    assert not os.path.exists(handle.path)
+    # close() leaves the cache usable: the next handle repopulates.
+    again = cache.handle(_config(), seed=0)
+    assert os.path.exists(again.path)
+    cache.close()

@@ -1,0 +1,119 @@
+"""Hardened run-engine tests: timeouts, retries, partial results."""
+
+import os
+import time
+
+import pytest
+
+from repro.faults import FaultyTask, InfraFaults
+from repro.fleet import ParallelRunEngine, TaskFailure
+
+
+def _double(task):
+    return 0.01, task * 2
+
+
+def _slow_then_double(task):
+    # Task 0 is slow; the others finish immediately.  With serialized
+    # harvesting, results would arrive in submission order anyway; with
+    # as_completed, fast results land while 0 is still running.
+    if task == 0:
+        time.sleep(0.5)
+    return 0.01, task * 2
+
+
+def _always_fails(task):
+    raise ValueError(f"task {task} is broken")
+
+
+def test_results_are_in_task_order_with_as_completed():
+    engine = ParallelRunEngine(workers=3)
+    results = engine.map(_slow_then_double, list(range(6)))
+    assert results == [0, 2, 4, 6, 8, 10]
+
+
+def test_worker_only_failure_recovers_in_parent():
+    # FaultyTask records the parent PID at construction, so the crash
+    # fires in workers only; the parent retry succeeds.
+    faulty = FaultyTask(_double, crash_tasks=(0, 1, 2))
+    assert faulty.parent_pid == os.getpid()
+    engine = ParallelRunEngine(workers=2, max_retries=1)
+    results = engine.map(faulty, [0, 1, 2])
+    assert results == [0, 2, 4]
+    assert engine.telemetry.retried >= 1
+    assert engine.telemetry.failed == 0
+
+
+def test_hung_worker_times_out_and_parent_retries():
+    faulty = FaultyTask(_double, hang_tasks=(1,), hang_seconds=30.0)
+    engine = ParallelRunEngine(workers=2, task_timeout_seconds=1.0)
+    start = time.perf_counter()
+    results = engine.map(faulty, [0, 1, 2])
+    elapsed = time.perf_counter() - start
+    assert results == [0, 2, 4]
+    assert engine.telemetry.timed_out == 1
+    assert engine.telemetry.retried >= 1
+    # Bounded: far less than the 30 s hang.
+    assert elapsed < 15.0
+
+
+def test_partial_mode_yields_task_failure_sentinel():
+    engine = ParallelRunEngine(
+        workers=1, max_retries=1, on_error="partial", retry_backoff_seconds=0.0
+    )
+    results = engine.map(_always_fails, [0, 1])
+    assert all(isinstance(r, TaskFailure) for r in results)
+    assert results[0].index == 0
+    assert "ValueError" in results[0].error
+    assert results[0].attempts == 2  # first try + one retry
+    assert engine.telemetry.failed == 2
+
+
+def test_raise_mode_propagates_after_retries():
+    engine = ParallelRunEngine(
+        workers=1, max_retries=1, retry_backoff_seconds=0.0
+    )
+    with pytest.raises(ValueError, match="broken"):
+        engine.map(_always_fails, [0])
+
+
+def test_backoff_is_exponential_and_capped():
+    engine = ParallelRunEngine(
+        workers=1,
+        max_retries=3,
+        on_error="partial",
+        retry_backoff_seconds=0.01,
+        backoff_cap_seconds=0.02,
+    )
+    engine.map(_always_fails, [0])
+    # Sleeps: 0.01, 0.02 (doubled), 0.02 (capped).
+    assert abs(engine.telemetry.backoff_seconds - 0.05) < 1e-9
+
+
+def test_invalid_on_error_rejected():
+    with pytest.raises(ValueError):
+        ParallelRunEngine(on_error="ignore")
+
+
+def test_injected_crash_in_fleet_is_bit_identical(tmp_path):
+    """A fleet run with a worker crash reproduces the clean results."""
+    from repro.fleet import AmbientCache, Deployment, FleetRunner
+
+    deployment = Deployment.ring(2, bandwidth_mhz=1.4, n_frames=1)
+    with AmbientCache(scratch_dir=tmp_path) as cache:
+        with FleetRunner(deployment, workers=1, seed=0, cache=cache) as runner:
+            clean = runner.run(payload_length=2000)
+        faults = InfraFaults(crash_tasks=(0, 1))
+        with FleetRunner(
+            deployment, workers=2, seed=0, cache=cache, infra_faults=faults
+        ) as runner:
+            faulted = runner.run(payload_length=2000)
+    assert faulted.retried_tasks == 2
+    assert faulted.failed_tags == 0
+    for a, b in zip(clean.tags, faulted.tags):
+        assert (a.name, a.n_bits, a.n_errors, a.n_windows) == (
+            b.name,
+            b.n_bits,
+            b.n_errors,
+            b.n_windows,
+        )

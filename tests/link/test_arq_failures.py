@@ -1,0 +1,108 @@
+"""ARQ failure paths: retry exhaustion, partial windows, boundary BERs."""
+
+import numpy as np
+import pytest
+
+from repro.link import (
+    BitErrorChannel,
+    ErasureChannel,
+    SelectiveRepeatArq,
+    StopAndWaitArq,
+)
+from repro.utils.rng import make_rng
+
+
+def _payload(n_bits, seed=0):
+    return make_rng(seed).integers(0, 2, size=n_bits).astype(np.int8)
+
+
+# -- BitErrorChannel boundaries ---------------------------------------------------
+
+
+def test_channel_ber_zero_is_exact_copy():
+    channel = BitErrorChannel(0.0, rng=0)
+    bits = _payload(512)
+    out = channel.transmit(bits)
+    np.testing.assert_array_equal(out, bits)
+    assert out is not bits  # a copy, not the caller's buffer
+
+
+def test_channel_ber_near_one_flips_almost_everything():
+    channel = BitErrorChannel(0.999, rng=0)
+    bits = np.zeros(4096, dtype=np.int8)
+    assert channel.transmit(bits).sum() > 4000
+
+
+@pytest.mark.parametrize("ber", [1.0, 1.5, -0.01])
+def test_channel_rejects_out_of_range_ber(ber):
+    with pytest.raises(ValueError):
+        BitErrorChannel(ber)
+
+
+# -- retry exhaustion -------------------------------------------------------------
+
+
+def test_stop_and_wait_raises_after_retry_exhaustion():
+    # BER 0.4 over a ~1k-bit frame: CRC success probability is negligible,
+    # so 3 attempts cannot deliver.
+    channel = BitErrorChannel(0.4, rng=0)
+    arq = StopAndWaitArq(mtu_bits=1024, max_retries=3)
+    with pytest.raises(RuntimeError, match="undeliverable"):
+        arq.deliver(_payload(2048), channel)
+
+
+def test_selective_repeat_raises_when_window_never_drains():
+    channel = BitErrorChannel(0.4, rng=0)
+    arq = SelectiveRepeatArq(mtu_bits=1024, window=4, max_rounds=3)
+    with pytest.raises(RuntimeError, match="never drained"):
+        arq.deliver(_payload(4096), channel)
+
+
+# -- final partial window ---------------------------------------------------------
+
+
+def test_selective_repeat_final_partial_window_accounting():
+    # 10 chunks with window 4: final round carries a 2-frame partial
+    # window; the last chunk is itself partial (300 of 1024 bits).
+    payload = _payload(9 * 1024 + 300)
+    arq = SelectiveRepeatArq(mtu_bits=1024, window=4)
+    recovered, report = arq.deliver(payload, BitErrorChannel(0.0, rng=0))
+    np.testing.assert_array_equal(recovered, payload)
+    assert report.frames_delivered == 10
+    assert report.frames_sent == 10
+    assert report.rounds == 3  # 4 + 4 + 2
+    assert report.payload_bits == len(payload)
+
+
+def test_stop_and_wait_partial_final_chunk_round_trips():
+    payload = _payload(1024 + 17)
+    arq = StopAndWaitArq(mtu_bits=1024)
+    recovered, report = arq.deliver(payload, BitErrorChannel(0.0, rng=0))
+    np.testing.assert_array_equal(recovered, payload)
+    assert report.frames_delivered == 2
+
+
+# -- erasure channel --------------------------------------------------------------
+
+
+def test_erasure_channel_drives_retransmission():
+    payload = _payload(4096)
+    channel = ErasureChannel(BitErrorChannel(0.0, rng=1), 0.3, rng=2)
+    arq = SelectiveRepeatArq(mtu_bits=1024, window=4)
+    recovered, report = arq.deliver(payload, channel)
+    np.testing.assert_array_equal(recovered, payload)
+    assert channel.erased_frames > 0
+    assert report.frames_sent > report.frames_delivered
+
+
+def test_erasure_channel_rate_zero_is_transparent():
+    inner = BitErrorChannel(0.0, rng=0)
+    channel = ErasureChannel(inner, 0.0, rng=0)
+    bits = _payload(256)
+    np.testing.assert_array_equal(channel.transmit(bits), bits)
+    assert channel.erased_frames == 0
+
+
+def test_erasure_channel_validates_rate():
+    with pytest.raises(ValueError):
+        ErasureChannel(BitErrorChannel(0.0), 1.1)

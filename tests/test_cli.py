@@ -129,6 +129,48 @@ def test_fleet_rejects_unknown_scheme():
         build_parser().parse_args(["fleet", "--scheme", "csma"])
 
 
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        (["fleet", "--tags", "0"], "--tags must be >= 1"),
+        (["fleet", "--workers", "0"], "--workers must be >= 1"),
+        (["fleet", "--frames", "-1"], "--frames must be >= 1"),
+        (["chaos", "--max-severity", "1.5"], "--max-severity must be in [0, 1]"),
+        (["chaos", "--kinds", "dropout,gremlins"], "unknown chaos kind"),
+    ],
+)
+def test_argument_validation_is_one_clean_line(capsys, argv, fragment):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert err.startswith("repro: error:")
+    assert err.count("\n") == 1  # one line, no traceback
+
+
+def test_chaos_command_smoke(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    code = main(
+        [
+            "chaos",
+            "--smoke",
+            "--kinds",
+            "dropout",
+            "--no-fleet",
+            "--output",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no-op contract OK" in out
+    assert "PASSED" in out
+    report = json.loads(out_path.read_text())
+    assert report["passed"] is True
+    assert report["sweeps"][0]["kind"] == "dropout"
+
+
 def test_console_scripts_declared_and_importable():
     """pyproject must expose the `repro` (and `lscatter`) console scripts,
     both pointing at a callable that exists."""
