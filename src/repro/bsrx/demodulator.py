@@ -43,6 +43,8 @@ from repro.lte.params import LteParams
 from repro.lte.pss import PSS_SYMBOL_IN_SLOT
 from repro.lte.resource_grid import symbol_index
 from repro.lte.sss import SSS_SYMBOL_IN_SLOT
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.tag.framing import preamble_bits, slot_plan
 
 
@@ -197,16 +199,18 @@ class BackscatterDemodulator:
             last_needed = half_start + int(self._useful_starts[symbol_index(9, 6)]) + fft
             if last_needed > n:
                 continue
-            cascade = self._cascade_channel(
-                shifted_samples, ambient_reference, half_start
-            )
+            with span("bsrx.sync"):
+                cascade = self._cascade_channel(
+                    shifted_samples, ambient_reference, half_start
+                )
             for slot_symbols in slot_plan():
                 slot, sym0 = slot_symbols[0]
                 y0, _ = self._useful(shifted_samples, half_start, slot, sym0)
                 x0, _ = self._useful(ambient_reference, half_start, slot, sym0)
 
-                est_a, channel_a, errors_a = self._model_post_eq(y0, x0)
-                est_b, errors_b = self._model_predistort(y0, x0, cascade)
+                with span("bsrx.phase_offset"):
+                    est_a, channel_a, errors_a = self._model_post_eq(y0, x0)
+                    est_b, errors_b = self._model_predistort(y0, x0, cascade)
 
                 preamble_errors = min(errors_a, errors_b)
                 if (
@@ -262,15 +266,17 @@ class BackscatterDemodulator:
                     x, _ = self._useful(ambient_reference, half_start, slot_, sym)
                     lo = estimate.offset
                     hi = lo + self.n_chips
-                    if use_post_eq:
-                        y_eq = equalize_symbol(y, channel_a)
-                        soft = np.real(y_eq[lo:hi] * np.conj(x[lo:hi]))
-                    else:
-                        w = self._predistorted(x, cascade)
-                        soft = np.real(
-                            derotate_b * y[lo:hi] * np.conj(w[lo:hi])
-                        )
-                    bits = (soft > 0).astype(np.int8)
+                    with span("bsrx.equalise"):
+                        if use_post_eq:
+                            y_eq = equalize_symbol(y, channel_a)
+                            soft = np.real(y_eq[lo:hi] * np.conj(x[lo:hi]))
+                        else:
+                            w = self._predistorted(x, cascade)
+                            soft = np.real(
+                                derotate_b * y[lo:hi] * np.conj(w[lo:hi])
+                            )
+                    with span("bsrx.demod"):
+                        bits = (soft > 0).astype(np.int8)
                     all_bits.append(bits)
                     all_soft.append(soft)
                     window_bits.append(bits)
@@ -285,6 +291,11 @@ class BackscatterDemodulator:
         else:
             bits = np.zeros(0, dtype=np.int8)
             soft = np.zeros(0)
+        obs_metrics.counter_inc("bsrx.packets", len(packets))
+        obs_metrics.counter_inc("bsrx.windows", len(window_bits))
+        n_erased = int(sum(bool(flag) for flag in window_erased))
+        if n_erased:
+            obs_metrics.counter_inc("bsrx.erasures", n_erased)
         return BsDemodResult(
             bits=bits,
             soft=soft,

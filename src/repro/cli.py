@@ -7,6 +7,7 @@ Three commands:
   ``python -m repro.experiments``);
 * ``survey`` — print the ambient-traffic survey for a venue;
 * ``fleet`` — multi-tag network simulation over one shared ambient cell;
+* ``trace`` — run with stage tracing on and write a Chrome trace JSON;
 * ``chaos`` — fault-injection sweeps and degradation curves;
 * ``bench`` — time the DSP hot path and write a perf baseline JSON;
 * ``report`` — write the full evaluation report.
@@ -62,6 +63,91 @@ def _cmd_experiment(args):
     return experiments_main(argv)
 
 
+def _run_pipeline_probe(seed=0):
+    """One tiny end-to-end run under a ``trace.probe`` span.
+
+    Several experiments are analytic (pure numpy, no IQ pipeline), so
+    ``repro trace <experiment>`` alone could produce a trace with no
+    sync/equalise/demod stages.  The probe guarantees every pipeline
+    stage appears in every trace; ``--no-probe`` disables it.
+    """
+    from repro.core import LScatterSystem, SystemConfig
+    from repro.obs.trace import span
+
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=2,
+        multipath=False,
+        add_noise=False,
+        sync_error_samples=0,
+        reference_mode="decoded",
+    )
+    with span("trace.probe"):
+        LScatterSystem(config, rng=seed).run(payload_length=500)
+
+
+def _validate_chrome_trace(path):
+    """Re-read a written trace and check the Trace Event Format shape.
+
+    Returns an error string or ``None``; the command fails loudly rather
+    than shipping a file chrome://tracing cannot load.
+    """
+    import json
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return "trace has no events"
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        if event.get("ph") != "X":
+            return f"unexpected event phase {event.get('ph')!r}"
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                return f"event missing {key!r}"
+    return None
+
+
+def _cmd_trace(args):
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import format_span_tree, write_chrome_trace
+
+    obs_trace.enable()
+    obs_trace.reset()
+    obs_metrics.reset_metrics()
+    status = 0
+    try:
+        if args.id:
+            from repro.experiments.__main__ import main as experiments_main
+
+            argv = [args.id]
+            if args.seed is not None:
+                argv += ["--seed", str(args.seed)]
+            status = experiments_main(argv) or 0
+        if not args.no_probe:
+            _run_pipeline_probe(seed=args.seed if args.seed is not None else 0)
+    finally:
+        obs_trace.disable()
+    roots = obs_trace.snapshot()
+    n_events = write_chrome_trace(args.output, roots=roots)
+    error = _validate_chrome_trace(args.output)
+    if error is not None:
+        print(f"repro: error: invalid trace written: {error}", file=sys.stderr)
+        return 1
+    print(format_span_tree(roots))
+    counters = obs_metrics.counters_snapshot()
+    if counters:
+        print(
+            "counters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    print(f"wrote {args.output} ({n_events} events)")
+    return status
+
+
 def _fail_usage(message):
     """One-line actionable argument error; exit code 2 like argparse."""
     print(f"repro: error: {message}", file=sys.stderr)
@@ -91,7 +177,11 @@ def _cmd_fleet(args):
         n_frames=args.frames,
     )
     with FleetRunner(
-        deployment, scheme=args.scheme, workers=args.workers, seed=args.seed
+        deployment,
+        scheme=args.scheme,
+        workers=args.workers,
+        seed=args.seed,
+        trace=args.trace,
     ) as runner:
         report = runner.run(payload_length=args.payload)
     print(
@@ -99,6 +189,21 @@ def _cmd_fleet(args):
         f"{args.bandwidth} MHz ({args.venue})"
     )
     print(report.format_table())
+    if args.trace:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.trace import from_dict
+
+        tracks = {
+            tag.name: [from_dict(d) for d in tag.trace] for tag in report.tags
+        }
+        n_events = write_chrome_trace(args.trace_output, tracks=tracks)
+        error = _validate_chrome_trace(args.trace_output)
+        if error is not None:
+            print(
+                f"repro: error: invalid trace written: {error}", file=sys.stderr
+            )
+            return 1
+        print(f"wrote {args.trace_output} ({n_events} events)")
     return 0
 
 
@@ -208,8 +313,27 @@ def build_parser():
     experiment.add_argument("--seed", type=int, default=None)
     experiment.set_defaults(func=_cmd_experiment)
 
+    trace = sub.add_parser(
+        "trace", help="run with stage tracing and write a Chrome trace JSON"
+    )
+    trace.add_argument(
+        "id", nargs="?", help="experiment id to trace (optional; probe always runs)"
+    )
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument(
+        "--output",
+        default="TRACE_PR4.json",
+        help="Chrome trace-event JSON path (chrome://tracing / Perfetto)",
+    )
+    trace.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the built-in end-to-end pipeline probe run",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
     fleet = sub.add_parser("fleet", help="multi-tag network simulation")
-    fleet.add_argument("--tags", type=int, default=4, help="fleet size")
+    fleet.add_argument("--tags", "-n", type=int, default=4, help="fleet size")
     fleet.add_argument(
         "--scheme",
         default="tdma",
@@ -229,6 +353,16 @@ def build_parser():
         default=1,
         help="worker processes for the per-tag stages (results are "
         "bit-identical for any value)",
+    )
+    fleet.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-tag span trees + counters and write a trace JSON",
+    )
+    fleet.add_argument(
+        "--trace-output",
+        default="TRACE_PR4.json",
+        help="Chrome trace path for --trace (one thread track per tag)",
     )
     fleet.set_defaults(func=_cmd_fleet)
 

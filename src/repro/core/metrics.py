@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 
 @dataclass
 class LinkReport:
@@ -131,6 +133,14 @@ def measure_link(schedule, demod_result, tolerance):
             out.n_lost += 1
             continue
         out.n_errors += int(np.sum(received != sent))
+    obs_metrics.counter_inc("link.windows", out.n_windows)
+    obs_metrics.counter_inc("link.bits", out.n_bits)
+    if out.n_errors:
+        obs_metrics.counter_inc("link.bit_errors", out.n_errors)
+    if out.n_lost:
+        obs_metrics.counter_inc("link.lost_windows", out.n_lost)
+    if out.n_erased:
+        obs_metrics.counter_inc("link.erased_windows", out.n_erased)
     return out
 
 

@@ -33,6 +33,8 @@ from repro.lte.params import FRAME_SECONDS, SUBFRAMES_PER_FRAME
 from repro.lte.ofdm import modulate_frame
 from repro.lte.receiver import LteReceiver
 from repro.lte.transmitter import LteTransmitter
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.tag.controller import ChipSchedule, TagController
 from repro.tag.modulator import ChipModulator
 from repro.tag.sync_circuit import SyncCircuit
@@ -188,10 +190,12 @@ class LScatterSystem:
         per-tag simulations.
         """
         config = self.config
-        tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng)
-        capture = tx.transmit(config.n_frames)
-        mean_power = float(np.mean(np.abs(capture.samples) ** 2))
-        unit = capture.samples / np.sqrt(mean_power)
+        with span("system.ambient") as sp:
+            tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng)
+            capture = tx.transmit(config.n_frames)
+            mean_power = float(np.mean(np.abs(capture.samples) ** 2))
+            unit = capture.samples / np.sqrt(mean_power)
+            sp.set(n_frames=int(config.n_frames), bandwidth_mhz=config.bandwidth_mhz)
         return AmbientStage(capture=capture, unit=unit)
 
     # -- main entry --------------------------------------------------------------
@@ -216,7 +220,23 @@ class LScatterSystem:
         path); ``owned_half_frames`` restricts the tag to a MAC-assigned
         subset of half-frames (see
         :meth:`repro.tag.controller.TagController.build_schedule`).
+
+        When tracing is enabled (:mod:`repro.obs.trace`) the whole call is
+        one ``system.run`` span whose children are the pipeline stages.
         """
+        with span("system.run") as sp:
+            report = self._run(
+                payload_bits, payload_length, artifacts, ambient, owned_half_frames
+            )
+            sp.set(
+                n_windows=report.n_windows,
+                n_bits=report.n_bits,
+                ber=float(report.ber),
+                sync_failed=report.sync_failed,
+            )
+        return report
+
+    def _run(self, payload_bits, payload_length, artifacts, ambient, owned_half_frames):
         config = self.config
         rngs = spawn_rngs(self.rng.integers(0, 2**31 - 1), 6)
         rng_payload, rng_fade, rng_noise, rng_sync, rng_tx, rng_shadow = rngs
@@ -259,102 +279,122 @@ class LScatterSystem:
             unit = carrier_faults.apply_ambient(unit)
 
         # 2. Channels.
-        bs_link = BackscatterLink(
-            budget=self.budget,
-            enb_to_tag_ft=config.enb_to_tag_ft,
-            tag_to_ue_ft=config.tag_to_ue_ft,
-            fading_in=self._fading(rng_fade, config.enb_to_tag_ft),
-            fading_out=self._fading(rng_fade, config.tag_to_ue_ft),
-        )
-        direct_link = DirectLink(
-            budget=self.budget,
-            distance_ft=config.enb_to_ue_ft,
-            fading=self._fading(rng_fade, config.enb_to_ue_ft),
-        )
-
-        ambient_at_tag = bs_link.apply_to_tag(unit)
-        if config.add_noise:
-            ambient_at_tag_noisy = add_thermal_noise(
-                ambient_at_tag,
-                self.params.sample_rate_hz,
-                config.noise_figure_db,
-                rng_noise,
+        with span("system.channel"):
+            bs_link = BackscatterLink(
+                budget=self.budget,
+                enb_to_tag_ft=config.enb_to_tag_ft,
+                tag_to_ue_ft=config.tag_to_ue_ft,
+                fading_in=self._fading(rng_fade, config.enb_to_tag_ft),
+                fading_out=self._fading(rng_fade, config.tag_to_ue_ft),
             )
-        else:
-            ambient_at_tag_noisy = ambient_at_tag
+            direct_link = DirectLink(
+                budget=self.budget,
+                distance_ft=config.enb_to_ue_ft,
+                fading=self._fading(rng_fade, config.enb_to_ue_ft),
+            )
+
+            ambient_at_tag = bs_link.apply_to_tag(unit)
+            if config.add_noise:
+                ambient_at_tag_noisy = add_thermal_noise(
+                    ambient_at_tag,
+                    self.params.sample_rate_hz,
+                    config.noise_figure_db,
+                    rng_noise,
+                )
+            else:
+                ambient_at_tag_noisy = ambient_at_tag
 
         # 3. Tag: sync, schedule, reflect.
-        error_samples, sync_result = self._sync_error_samples(
-            ambient_at_tag_noisy, rng_sync, edge_fault=edge_fault
-        )
-        sync_failed = error_samples is None
+        with span("tag.sync") as sp:
+            error_samples, sync_result = self._sync_error_samples(
+                ambient_at_tag_noisy, rng_sync, edge_fault=edge_fault
+            )
+            sync_failed = error_samples is None
+            sp.set(sync_failed=sync_failed)
         if sync_failed:
+            obs_metrics.counter_inc("system.sync_failures")
             # The comparator never fired: the tag cannot place a single
             # half-frame and stays silent (constant '1' chips, no windows)
             # rather than spraying mistimed chips over the capture.
             schedule = ChipSchedule(chips=np.ones(len(unit), dtype=np.int8))
         else:
-            timing = self.controller.genie_timing(0, error_samples)
-            schedule = self.controller.build_schedule(
-                timing,
-                len(unit),
-                payload_bits,
-                owned_half_frames=owned_half_frames,
-                drift_per_half_frame=drift_per_half_frame,
-            )
-        reflected = self.modulator.reflect(ambient_at_tag, schedule.chips)
+            with span("tag.schedule") as sp:
+                timing = self.controller.genie_timing(0, error_samples)
+                schedule = self.controller.build_schedule(
+                    timing,
+                    len(unit),
+                    payload_bits,
+                    owned_half_frames=owned_half_frames,
+                    drift_per_half_frame=drift_per_half_frame,
+                )
+                sp.set(n_half_frames=int(schedule.n_half_frames))
+        with span("tag.reflect"):
+            reflected = self.modulator.reflect(ambient_at_tag, schedule.chips)
 
         # 4. Receive both bands at the UE.
-        shifted_rx = bs_link.apply_from_tag(reflected)
-        if carrier_faults is not None:
-            # Jammer bursts, impulsive noise and ADC clipping hit the
-            # backscatter band's receive chain, where the signal is weakest.
-            shifted_rx = carrier_faults.apply_backscatter(shifted_rx)
-        direct_rx = direct_link.apply(unit)
-        # Structural (unmodulated, in-band) tag reflection leaks into the
-        # direct band as weak extra multipath.
-        leak = 10.0 ** (config.structural_reflection_db / 20.0)
-        direct_rx = direct_rx + leak * bs_link.apply_from_tag(ambient_at_tag)
-        # UE oscillator error rotates both bands identically (one LO).
-        cfo_hz = config.ue_cfo_ppm * 1e-6 * config.carrier_hz
-        if cfo_hz:
-            shifted_rx = apply_cfo(shifted_rx, cfo_hz, self.params.sample_rate_hz)
-            direct_rx = apply_cfo(direct_rx, cfo_hz, self.params.sample_rate_hz)
-        if config.add_noise:
-            shifted_rx = add_thermal_noise(
-                shifted_rx,
-                self.params.sample_rate_hz,
-                config.noise_figure_db,
-                rng_noise,
-            )
-            direct_rx = add_thermal_noise(
-                direct_rx,
-                self.params.sample_rate_hz,
-                config.noise_figure_db,
-                rng_noise,
-            )
-        if cfo_hz:
-            # The UE estimates its own offset from the cyclic prefix of
-            # the direct band and derotates both captures.
-            estimated = estimate_cfo(direct_rx, self.params)
-            shifted_rx = correct_cfo(shifted_rx, estimated, self.params.sample_rate_hz)
-            direct_rx = correct_cfo(direct_rx, estimated, self.params.sample_rate_hz)
+        with span("system.receive"):
+            shifted_rx = bs_link.apply_from_tag(reflected)
+            if carrier_faults is not None:
+                # Jammer bursts, impulsive noise and ADC clipping hit the
+                # backscatter band's receive chain, where the signal is weakest.
+                shifted_rx = carrier_faults.apply_backscatter(shifted_rx)
+            direct_rx = direct_link.apply(unit)
+            # Structural (unmodulated, in-band) tag reflection leaks into the
+            # direct band as weak extra multipath.
+            leak = 10.0 ** (config.structural_reflection_db / 20.0)
+            direct_rx = direct_rx + leak * bs_link.apply_from_tag(ambient_at_tag)
+            # UE oscillator error rotates both bands identically (one LO).
+            cfo_hz = config.ue_cfo_ppm * 1e-6 * config.carrier_hz
+            if cfo_hz:
+                shifted_rx = apply_cfo(shifted_rx, cfo_hz, self.params.sample_rate_hz)
+                direct_rx = apply_cfo(direct_rx, cfo_hz, self.params.sample_rate_hz)
+            if config.add_noise:
+                shifted_rx = add_thermal_noise(
+                    shifted_rx,
+                    self.params.sample_rate_hz,
+                    config.noise_figure_db,
+                    rng_noise,
+                )
+                direct_rx = add_thermal_noise(
+                    direct_rx,
+                    self.params.sample_rate_hz,
+                    config.noise_figure_db,
+                    rng_noise,
+                )
+            if cfo_hz:
+                # The UE estimates its own offset from the cyclic prefix of
+                # the direct band and derotates both captures.
+                estimated = estimate_cfo(direct_rx, self.params)
+                shifted_rx = correct_cfo(
+                    shifted_rx, estimated, self.params.sample_rate_hz
+                )
+                direct_rx = correct_cfo(
+                    direct_rx, estimated, self.params.sample_rate_hz
+                )
 
         # 5. UE: LTE decode (for Fig. 32 and the ambient reconstruction).
         lte_result = None
         if config.reference_mode == "decoded":
-            ue = LteReceiver(self.params, config.cell)
-            lte_result = ue.decode(direct_rx, reference_frames=capture.frames)
-        reference = self._reconstruct_reference(direct_rx, capture, lte_result)
+            with span("lte.decode") as sp:
+                ue = LteReceiver(self.params, config.cell)
+                lte_result = ue.decode(direct_rx, reference_frames=capture.frames)
+                sp.set(block_error_rate=float(lte_result.block_error_rate))
+        with span("system.reference"):
+            reference = self._reconstruct_reference(direct_rx, capture, lte_result)
 
         # 6. Backscatter demodulation.
         half = self.params.samples_per_frame // 2
         half_starts = np.arange(0, len(unit) - half + 1, half)
-        demod = self.demodulator.demodulate(shifted_rx, reference, half_starts)
+        with span("bsrx.demodulate") as sp:
+            demod = self.demodulator.demodulate(shifted_rx, reference, half_starts)
+            sp.set(
+                n_windows=demod.n_data_windows, n_erased=demod.n_erased_windows
+            )
 
         # 7. Metrics.
         tolerance = self.params.fft_size // 2
-        breakdown = measure_link(schedule, demod, tolerance)
+        with span("system.metrics"):
+            breakdown = measure_link(schedule, demod, tolerance)
         # Throughput is measured over the time the tag actually had
         # scheduled (whole half-frames); a capture's ragged edge would
         # otherwise bias short simulations low.

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 
 def _rms(samples):
     value = float(np.sqrt(np.mean(np.abs(samples) ** 2))) if len(samples) else 0.0
@@ -182,10 +184,19 @@ class CarrierFaultSet:
 
     def apply_ambient(self, unit):
         """Faults applied at the eNodeB: carrier dropout windows."""
+        if self._dropout.active:
+            obs_metrics.counter_inc("faults.activations.dropout")
         return self._dropout.apply(unit, self._plan.rng_for("dropout"))
 
     def apply_backscatter(self, rx):
         """Faults applied at the UE's backscatter band front end."""
+        for name, injector in (
+            ("jammer", self._jammer),
+            ("impulse", self._impulse),
+            ("clip", self._clipper),
+        ):
+            if injector.active:
+                obs_metrics.counter_inc(f"faults.activations.{name}")
         rx = self._jammer.apply(rx, self._plan.rng_for("jammer"))
         rx = self._impulse.apply(rx, self._plan.rng_for("impulse"))
         return self._clipper.apply(rx, self._plan.rng_for("clip"))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
 from repro.utils.rng import make_rng
 
 #: The PSS repeats every half-frame (5 ms).
@@ -45,6 +46,8 @@ class TagFaultInjector:
     def __call__(self, edges, n_samples, sample_rate_hz):
         edges = np.asarray(edges, dtype=np.int64)
         faults = self.faults
+        if self.active:
+            obs_metrics.counter_inc("faults.activations.tag_sync")
         if faults.pss_miss_rate > 0.0 and len(edges):
             keep = self.rng.random(len(edges)) >= faults.pss_miss_rate
             edges = edges[keep]

@@ -30,6 +30,8 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from repro.obs import metrics as obs_metrics
+
 #: Grace added to the pool timeout budget for executor spin-up.
 _POOL_SPINUP_GRACE_SECONDS = 1.0
 
@@ -117,6 +119,7 @@ class ParallelRunEngine:
                 # The pool itself could not be (re)built — e.g. a sandbox
                 # with no process spawning. Finish the batch serially.
                 telemetry.fell_back_serial = True
+                obs_metrics.counter_inc("fleet.serial_fallbacks")
                 results = self._run_serial(fn, tasks)
         telemetry.wall_seconds = time.perf_counter() - start
         return results
@@ -196,6 +199,7 @@ class ParallelRunEngine:
                         continue
                     future.cancel()
                     telemetry.timed_out += 1
+                    obs_metrics.counter_inc("fleet.timeouts")
                     recover.append((index, True))
                 self._terminate_workers(pool)
         for index, timed_out in sorted(recover):
@@ -220,10 +224,12 @@ class ParallelRunEngine:
             try:
                 results[index] = self._run_local(fn, tasks[index])
                 telemetry.retried += 1
+                obs_metrics.counter_inc("fleet.retries")
                 return
             except Exception as exc:
                 last_error = exc
         telemetry.failed += 1
+        obs_metrics.counter_inc("fleet.task_failures")
         if self.on_error == "partial":
             results[index] = TaskFailure(
                 index=index,

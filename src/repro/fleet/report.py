@@ -31,6 +31,11 @@ class TagResult:
     #: counters above are then all zero and ``error`` says why.
     failed: bool = False
     error: str = ""
+    #: Serialised span trees (``repro.obs.trace.to_dict`` dicts) of the
+    #: tag's stage, shipped back from the worker when tracing was on.
+    trace: list = field(default_factory=list)
+    #: Counter deltas this tag's task contributed (worker before/after).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def ber(self):
@@ -79,6 +84,12 @@ class FleetReport:
     timed_out_tasks: int = 0
     #: How many times the eNodeB capture was actually generated.
     transmit_invocations: int = 0
+    #: Merged per-stage telemetry across every traced tag:
+    #: ``{stage: {wall_seconds, cpu_seconds, count}}`` (empty without
+    #: ``trace=True`` on the runner).
+    stage_breakdown: dict = field(default_factory=dict)
+    #: Summed counter deltas across every tag's task.
+    counters: dict = field(default_factory=dict)
 
     @property
     def aggregate_throughput_bps(self):
@@ -140,6 +151,28 @@ class FleetReport:
                 f"faults: {self.failed_tags} tag(s) failed, "
                 f"{self.timed_out_tasks} task(s) timed out"
             )
+        if self.stage_breakdown:
+            lines.append(self.format_telemetry())
+        return "\n".join(lines)
+
+    def format_telemetry(self):
+        """Per-stage breakdown merged across tags, plus summed counters."""
+        lines = ["telemetry (merged across tags):"]
+        ordered = sorted(
+            self.stage_breakdown.items(),
+            key=lambda item: item[1]["wall_seconds"],
+            reverse=True,
+        )
+        for name, entry in ordered:
+            lines.append(
+                f"  {name:<24s} wall {entry['wall_seconds'] * 1e3:9.2f} ms  "
+                f"cpu {entry['cpu_seconds'] * 1e3:9.2f} ms  x{entry['count']}"
+            )
+        if self.counters:
+            pairs = ", ".join(
+                f"{name}={value}" for name, value in sorted(self.counters.items())
+            )
+            lines.append(f"  counters: {pairs}")
         return "\n".join(lines)
 
 

@@ -32,6 +32,8 @@ from repro.fleet.ambient import AmbientCache
 from repro.fleet.engine import ParallelRunEngine, TaskFailure
 from repro.fleet.report import FleetReport, TagResult, capture_seconds
 from repro.fleet.scheduler import FleetScheduler, make_scheme
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass
@@ -49,14 +51,42 @@ class TagTask:
     tag_to_ue_ft: float
     #: AmbientStage (serial) or AmbientHandle (worker processes).
     ambient: object = None
+    #: Collect a span tree + counter delta for this task and ship both
+    #: back through the result pickle (see :mod:`repro.obs`).
+    trace: bool = False
     extras: dict = field(default_factory=dict)
+
+
+def _run_tag_stage(task, result):
+    """The traced body of :func:`_simulate_tag`: one system run."""
+    ambient = task.ambient
+    if hasattr(ambient, "load"):
+        ambient = ambient.load()
+    system = LScatterSystem(task.config, rng=task.seed)
+    report = system.run(
+        payload_length=task.payload_length,
+        ambient=ambient,
+        owned_half_frames=task.owned,
+    )
+    result.n_bits = report.n_bits
+    result.n_errors = report.n_errors
+    result.n_windows = report.n_windows
+    result.n_lost_windows = report.n_lost_windows
+    result.n_erased_windows = report.n_erased_windows
+    result.sync_error_us = report.sync_error_us
 
 
 def _simulate_tag(task):
     """Run one tag's per-tag stage; returns ``(elapsed, TagResult)``.
 
     Module-level and argument-pure so it pickles cleanly into worker
-    processes and reproduces exactly when retried in the parent.
+    processes and reproduces exactly when retried in the parent.  With
+    ``task.trace`` the stage runs inside an isolated trace collection
+    (:func:`repro.obs.trace.collect`) — safe even on the engine's serial
+    in-process path, where an ambient trace may already be active — and
+    the result carries serialised span trees plus the counter delta this
+    task contributed (long-lived workers handle many tasks, so absolute
+    counters would double-count).
     """
     start = time.perf_counter()
     result = TagResult(
@@ -67,21 +97,16 @@ def _simulate_tag(task):
         collided_half_frames=task.collided,
     )
     if task.owned:
-        ambient = task.ambient
-        if hasattr(ambient, "load"):
-            ambient = ambient.load()
-        system = LScatterSystem(task.config, rng=task.seed)
-        report = system.run(
-            payload_length=task.payload_length,
-            ambient=ambient,
-            owned_half_frames=task.owned,
-        )
-        result.n_bits = report.n_bits
-        result.n_errors = report.n_errors
-        result.n_windows = report.n_windows
-        result.n_lost_windows = report.n_lost_windows
-        result.n_erased_windows = report.n_erased_windows
-        result.sync_error_us = report.sync_error_us
+        if task.trace:
+            before = obs_metrics.counters_snapshot()
+            with obs_trace.collect() as collection:
+                _run_tag_stage(task, result)
+            result.trace = [obs_trace.to_dict(n) for n in collection.roots]
+            result.metrics = obs_metrics.counter_delta(
+                before, obs_metrics.counters_snapshot()
+            )
+        else:
+            _run_tag_stage(task, result)
     elapsed = time.perf_counter() - start
     result.elapsed_seconds = elapsed
     return elapsed, result
@@ -101,6 +126,7 @@ class FleetRunner:
         task_timeout_seconds=None,
         on_error="raise",
         infra_faults=None,
+        trace=False,
     ):
         self.deployment = deployment
         self.scheme = scheme
@@ -117,6 +143,9 @@ class FleetRunner:
         #: task function so selected tasks crash or hang *in workers only*
         #: (parent retries stay clean and reproduce exact results).
         self.infra_faults = infra_faults
+        #: Collect per-tag span trees + counter deltas and merge them
+        #: into the report's ``stage_breakdown``/``counters``.
+        self.trace = bool(trace)
 
     def close(self):
         """Release the ambient cache's scratch files if we own the cache."""
@@ -185,6 +214,7 @@ class FleetRunner:
                     enb_to_tag_ft=placement.enb_to_tag_ft,
                     tag_to_ue_ft=placement.tag_to_ue_ft,
                     ambient=ambient,
+                    trace=self.trace,
                 )
             )
 
@@ -205,6 +235,18 @@ class FleetRunner:
                 )
             else:
                 results.append(result)
+
+        # Merge telemetry: same-named stages sum across tags, counter
+        # deltas add up — the per-fleet view of what each stage cost.
+        stage_breakdown = {}
+        counters = {}
+        if self.trace:
+            for result in results:
+                roots = [obs_trace.from_dict(d) for d in result.trace]
+                obs_trace.flatten_stages(roots, into=stage_breakdown)
+                for name, value in result.metrics.items():
+                    counters[name] = counters.get(name, 0) + value
+
         telemetry = engine.telemetry
         return FleetReport(
             scheme=schedule.scheme,
@@ -223,4 +265,6 @@ class FleetRunner:
             failed_tags=sum(1 for r in results if getattr(r, "failed", False)),
             timed_out_tasks=telemetry.timed_out,
             transmit_invocations=self.cache.transmit_calls,
+            stage_breakdown=stage_breakdown,
+            counters=counters,
         )

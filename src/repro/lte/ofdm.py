@@ -39,6 +39,7 @@ import scipy.fft as _scipy_fft
 
 from repro.lte.params import SLOTS_PER_FRAME, SYMBOLS_PER_SLOT
 from repro.lte.resource_grid import SYMBOLS_PER_FRAME, symbol_index
+from repro.obs.trace import span
 from repro.utils.cache import memoize
 
 #: Worker threads for batched transforms (scipy.fft releases the GIL and
@@ -106,6 +107,11 @@ def modulate_frame(grid):
     into the output timeline through the precomputed
     :func:`frame_layout` — bit-identical to :func:`modulate_frame_loop`.
     """
+    with span("lte.ofdm.modulate"):
+        return _modulate_frame(grid)
+
+
+def _modulate_frame(grid):
     params = grid.params
     layout = frame_layout(params)
     fft_size = params.fft_size
@@ -164,6 +170,11 @@ def demodulate_frame(params, samples):
     Vectorised slot-chunk mirror of :func:`modulate_frame`; bit-identical
     to :func:`demodulate_frame_loop`.
     """
+    with span("lte.ofdm.demodulate"):
+        return _demodulate_frame(params, samples)
+
+
+def _demodulate_frame(params, samples):
     samples = np.asarray(samples, dtype=complex)
     if len(samples) < params.samples_per_frame:
         raise ValueError("need a full frame of samples")

@@ -23,6 +23,7 @@ from repro.lte.modulation import BITS_PER_SYMBOL, demodulate_llr
 from repro.lte.ofdm import demodulate_frame
 from repro.lte.params import LteParams, SUBFRAMES_PER_FRAME, FRAME_SECONDS
 from repro.lte.resource_grid import ReKind
+from repro.obs.trace import span
 
 
 @dataclass
@@ -103,8 +104,9 @@ class LteReceiver:
     def decode_frame(self, samples, frame_number=0):
         """Decode one frame of samples; returns a list of SubframeResult."""
         observed = demodulate_frame(self.params, samples)
-        estimate = estimate_channel(observed, self.cell.cell_id, self.params)
-        equalized = estimate.equalize(observed)
+        with span("lte.channel_est"):
+            estimate = estimate_channel(observed, self.cell.cell_id, self.params)
+            equalized = estimate.equalize(observed)
 
         # Post-equalisation noise variance per RE: sigma^2 / |H|^2.
         gain_power = np.maximum(np.abs(estimate.gains) ** 2, 1e-12)
@@ -112,22 +114,24 @@ class LteReceiver:
 
         softs = []
         sizes = []
-        for subframe in range(SUBFRAMES_PER_FRAME):
-            in_sf, target_bits, tb_size = self._subframe_bits(subframe)
-            rows = self._data_rows[in_sf]
-            cols = self._data_cols[in_sf]
-            symbols = equalized[rows, cols]
-            noise = re_noise[rows, cols]
-            llrs = demodulate_llr(symbols, self.cell.modulation, noise)
-            c_init = coding.pdsch_c_init(
-                self.cell.rnti, subframe, self.cell.cell_id
-            )
-            llrs = coding.descramble_llrs(llrs, c_init)
-            coded_length = 3 * (tb_size + 24)
-            softs.append(coding.rate_recover(llrs, coded_length))
-            sizes.append(tb_size + 24)
+        with span("lte.demap"):
+            for subframe in range(SUBFRAMES_PER_FRAME):
+                in_sf, target_bits, tb_size = self._subframe_bits(subframe)
+                rows = self._data_rows[in_sf]
+                cols = self._data_cols[in_sf]
+                symbols = equalized[rows, cols]
+                noise = re_noise[rows, cols]
+                llrs = demodulate_llr(symbols, self.cell.modulation, noise)
+                c_init = coding.pdsch_c_init(
+                    self.cell.rnti, subframe, self.cell.cell_id
+                )
+                llrs = coding.descramble_llrs(llrs, c_init)
+                coded_length = 3 * (tb_size + 24)
+                softs.append(coding.rate_recover(llrs, coded_length))
+                sizes.append(tb_size + 24)
 
-        decoded_blocks = coding.viterbi_decode_many(softs, sizes)
+        with span("lte.viterbi"):
+            decoded_blocks = coding.viterbi_decode_many(softs, sizes)
         results = []
         for subframe, decoded in enumerate(decoded_blocks):
             payload, ok = coding.crc_check(decoded, "crc24a")

@@ -15,6 +15,7 @@ import numpy as np
 from repro.lte.frame import CellConfig, FrameBuilder, LteFrame
 from repro.lte.ofdm import modulate_frame
 from repro.lte.params import LteParams
+from repro.obs.trace import span
 from repro.utils.rng import make_rng
 
 
@@ -57,11 +58,13 @@ class LteTransmitter:
             raise ValueError("need at least one frame")
         frames = []
         chunks = []
-        for n in range(int(n_frames)):
-            frame = self._builder.build(frame_number=n)
-            frames.append(frame)
-            chunks.append(modulate_frame(frame.grid))
-        samples = np.concatenate(chunks)
+        with span("lte.transmit") as sp:
+            for n in range(int(n_frames)):
+                frame = self._builder.build(frame_number=n)
+                frames.append(frame)
+                chunks.append(modulate_frame(frame.grid))
+            samples = np.concatenate(chunks)
+            sp.set(n_frames=int(n_frames), n_samples=len(samples))
         return LteCapture(
             params=self.params, cell=self.cell, samples=samples, frames=frames
         )

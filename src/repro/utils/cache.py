@@ -26,6 +26,8 @@ import threading
 
 import numpy as np
 
+from repro.obs import metrics as _obs_metrics
+
 #: name -> cached callable, for introspection and global clearing.
 _REGISTRY = {}
 _LOCK = threading.Lock()
@@ -85,6 +87,25 @@ def cache_stats():
     with _LOCK:
         entries = dict(_REGISTRY)
     return {name: fn.cache_info()._asdict() for name, fn in entries.items()}
+
+
+def _cache_totals():
+    """Aggregate hit/miss/size totals across every registered cache.
+
+    Registered as a pull-style collector with :mod:`repro.obs.metrics`,
+    so metric snapshots report cache effectiveness without adding any
+    counter work to the memoisation fast path.
+    """
+    totals = {"hits": 0, "misses": 0, "currsize": 0, "caches": 0}
+    for stats in cache_stats().values():
+        totals["hits"] += stats["hits"]
+        totals["misses"] += stats["misses"]
+        totals["currsize"] += stats["currsize"]
+        totals["caches"] += 1
+    return totals
+
+
+_obs_metrics.register_collector("utils.cache", _cache_totals)
 
 
 def clear_caches():

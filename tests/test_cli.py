@@ -171,6 +171,68 @@ def test_chaos_command_smoke(tmp_path, capsys):
     assert report["sweeps"][0]["kind"] == "dropout"
 
 
+@pytest.fixture()
+def _clean_obs_state():
+    from repro.obs import metrics, trace
+
+    yield
+    trace.disable()
+    trace.reset()
+    metrics.reset_metrics()
+
+
+def test_trace_command_writes_chrome_json(tmp_path, capsys, _clean_obs_state):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "--output", str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace.probe" in out
+    assert "counters:" in out
+    assert f"wrote {out_path}" in out
+    payload = json.loads(out_path.read_text())
+    names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    # The acceptance stages must all be present as nested spans.
+    assert {"tag.sync", "bsrx.phase_offset", "bsrx.equalise", "bsrx.demod"} <= names
+
+
+def test_trace_command_with_experiment(tmp_path, capsys, _clean_obs_state):
+    out_path = tmp_path / "fig12.json"
+    code = main(["trace", "fig12", "--output", str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace.probe" in out  # probe rides along with the experiment
+    assert out_path.exists()
+
+
+def test_fleet_trace_flag_writes_per_tag_tracks(tmp_path, capsys, _clean_obs_state):
+    import json
+
+    out_path = tmp_path / "fleet_trace.json"
+    code = main(
+        [
+            "fleet",
+            "-n",
+            "2",
+            "--frames",
+            "2",
+            "--payload",
+            "500",
+            "--trace",
+            "--trace-output",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "telemetry" in out.lower()
+    assert "bsrx.demodulate" in out
+    payload = json.loads(out_path.read_text())
+    tids = {e["tid"] for e in payload["traceEvents"]}
+    assert len(tids) == 2  # one thread track per tag
+
+
 def test_console_scripts_declared_and_importable():
     """pyproject must expose the `repro` (and `lscatter`) console scripts,
     both pointing at a callable that exists."""

@@ -115,3 +115,145 @@ def test_coded_ber_never_worse_than_half(ber):
 
     assert 0.0 <= hamming74_coded_ber(ber) <= 0.5
     assert 0.0 <= repetition_coded_ber(ber) <= 0.5
+
+
+# -- PR4: coding-chain roundtrip --------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    payload_len=st.integers(min_value=16, max_value=400),
+    rate_factor=st.floats(min_value=1.0, max_value=3.0),
+    c_init=st.integers(min_value=1, max_value=2**31 - 1),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_coding_chain_roundtrip_zero_noise(payload_len, rate_factor, c_init, seed):
+    """scramble -> conv-encode -> rate-match -> decode is the identity.
+
+    Under zero noise the receive chain must invert the transmit chain
+    exactly, for any payload length and any rate-match factor >= 1
+    (repetition only; puncturing deliberately discards parity and is not
+    an identity even at zero noise).
+    """
+    from repro.lte import coding
+
+    payload = make_rng(seed).integers(0, 2, size=payload_len).astype(np.int8)
+    scrambled = coding.scramble_bits(payload, c_init)
+    coded = coding.conv_encode(scrambled)
+    target = int(np.ceil(len(coded) * rate_factor))
+    matched = coding.rate_match(coded, target)
+
+    # Zero-noise LLRs: positive means bit 0 (the demodulator convention).
+    llrs = 1.0 - 2.0 * matched.astype(float)
+    soft = coding.rate_recover(llrs, len(coded))
+    decoded = coding.viterbi_decode(soft, payload_len)
+    np.testing.assert_array_equal(decoded, scrambled)
+    # Scrambling is an XOR with a Gold sequence: applying it again
+    # descrambles, completing the identity back to the payload.
+    np.testing.assert_array_equal(coding.scramble_bits(decoded, c_init), payload)
+
+
+# -- PR4: align_windows invariants ------------------------------------------------
+
+
+def _make_windows(starts):
+    from repro.tag.controller import ChipWindow
+
+    return [
+        ChipWindow(start=int(s), n_chips=4, kind="data", bits=np.zeros(4, np.int8))
+        for s in sorted(starts)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    schedule_starts=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=12, unique=True
+    ),
+    demod_jitter=st.lists(
+        st.integers(min_value=-600, max_value=600), min_size=0, max_size=12
+    ),
+    tolerance=st.integers(min_value=0, max_value=256),
+    extra_tolerance=st.integers(min_value=0, max_value=256),
+)
+def test_align_windows_invariants(
+    schedule_starts, demod_jitter, tolerance, extra_tolerance
+):
+    """One-to-one, order-preserving, and tolerance-monotone matching."""
+    from repro.core.metrics import align_windows
+
+    windows = _make_windows(schedule_starts)
+    starts = sorted(schedule_starts)
+    demod_starts = np.array(
+        [starts[i % len(starts)] + j for i, j in enumerate(demod_jitter)],
+        dtype=np.int64,
+    )
+
+    pairs = align_windows(windows, demod_starts, tolerance)
+
+    # Every data window appears exactly once, in schedule order.
+    assert [s for s, _ in pairs] == list(range(len(windows)))
+    # One-to-one: no demodulated window satisfies two schedule windows.
+    matched = [d for _, d in pairs if d is not None]
+    assert len(matched) == len(set(matched))
+    # Every match respects the tolerance.
+    for s_index, d_index in pairs:
+        if d_index is not None:
+            delta = abs(int(demod_starts[d_index]) - windows[s_index].start)
+            assert delta <= tolerance
+
+    # Monotone in tolerance: widening the acceptance radius only adds
+    # candidate pairs *after* the sorted prefix, so the greedy assignment
+    # never un-matches a window that a tighter tolerance matched.
+    wider = align_windows(windows, demod_starts, tolerance + extra_tolerance)
+    for (s_index, d_index), (s2, d2) in zip(pairs, wider):
+        assert s_index == s2
+        if d_index is not None:
+            assert d2 is not None
+
+
+# -- PR4: severity-0 fault plans are no-ops ---------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_samples=st.integers(min_value=64, max_value=4096),
+    dropout_windows=st.integers(min_value=1, max_value=8),
+    jammer_bursts=st.integers(min_value=1, max_value=8),
+)
+def test_zero_severity_faults_are_object_identical_noops(
+    seed, plan_seed, n_samples, dropout_windows, jammer_bursts
+):
+    """A severity-0 plan returns the *same array objects*, untouched.
+
+    The carrier injectors promise not just equal values but the identity
+    no-op (no copy, no RNG consumption visible to the caller) for any
+    plan seed and placement configuration.
+    """
+    from repro.faults.carrier import CarrierFaultSet
+    from repro.faults.plan import CarrierFaults, FaultPlan, TagFaults
+    from repro.faults.tag import TagFaultInjector
+
+    plan = FaultPlan(
+        carrier=CarrierFaults(
+            dropout_windows=dropout_windows, jammer_bursts=jammer_bursts
+        ),
+        tag=TagFaults(),
+        seed=plan_seed,
+    )
+    assert plan.is_noop
+    rng = make_rng(seed)
+    samples = rng.normal(size=n_samples) + 1j * rng.normal(size=n_samples)
+    fault_set = CarrierFaultSet(plan)
+    assert not fault_set.active
+    assert fault_set.apply_ambient(samples) is samples
+    assert fault_set.apply_backscatter(samples) is samples
+
+    injector = TagFaultInjector(plan.tag, rng=plan.rng_for("tag"))
+    assert not injector.active
+    edges = rng.integers(0, n_samples, size=5)
+    np.testing.assert_array_equal(
+        injector(edges, n_samples, 1.92e6), np.asarray(edges, dtype=np.int64)
+    )
