@@ -17,6 +17,8 @@ spell; interleaving exposes both to the same conditions.
 from __future__ import annotations
 
 import json
+import math
+import os
 import platform
 import time
 
@@ -29,6 +31,26 @@ DEFAULT_BANDWIDTH_MHZ = 20.0
 DEFAULT_REPEATS = 30
 SMOKE_BANDWIDTH_MHZ = 5.0
 SMOKE_REPEATS = 5
+
+#: Metrics gated by ``repro bench --check``: (dotted path, direction, log).
+#: Only *relative* metrics (speedups, overhead fractions) are compared —
+#: absolute wall/CPU times don't transfer between the machine that wrote
+#: the committed baseline and the machine running the gate.  Log-scale
+#: metrics (the warm sequence cache is ~1000x) compare on log10 so normal
+#: jitter in a huge ratio doesn't trip the gate.
+GATE_METRICS = (
+    ("ofdm.speedup.modulate", "higher", False),
+    ("ofdm.speedup.demodulate", "higher", False),
+    ("ofdm.speedup.combined", "higher", False),
+    ("cfo.speedup", "higher", False),
+    ("sequence_cache.speedup", "higher", True),
+    ("trace_overhead.overhead_fraction", "lower", False),
+)
+
+#: Absolute slack for lower-is-better metrics whose baseline sits near 0
+#: (the disabled-tracing overhead fraction is ~0.1-1 %): without it any
+#: noise above a tiny baseline would read as a >tolerance regression.
+LOWER_METRIC_ABSOLUTE_SLACK = 0.005
 
 
 def _interleaved_min(candidates, repeats, inner=3):
@@ -266,9 +288,108 @@ def run_bench(output="BENCH_PR2.json", bandwidth=None, repeats=None, smoke=False
         "cache_stats": cache_stats(),
     }
     if output:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(output, "w") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)
     return results
+
+
+# -- regression gate (``repro bench --check``) -----------------------------------
+
+
+def _metric(results, path):
+    """Resolve a dotted path in a results dict; ``None`` when absent."""
+    node = results
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_to_baseline(current, baseline, tolerance=0.25):
+    """Gate the current bench results against a committed baseline.
+
+    For every :data:`GATE_METRICS` entry the current value may be worse
+    than the baseline by at most ``tolerance`` (relative; log-scale
+    metrics compare their log10).  Returns a report dict whose
+    ``regressions`` list is empty iff the gate passes.
+    """
+    tolerance = float(tolerance)
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    metrics = []
+    for path, direction, log_scale in GATE_METRICS:
+        cur = _metric(current, path)
+        base = _metric(baseline, path)
+        entry = {
+            "metric": path,
+            "direction": direction,
+            "current": cur,
+            "baseline": base,
+            "status": "ok",
+        }
+        if cur is None or base is None:
+            # A metric missing from either side is reported, not gated —
+            # an old baseline must not hard-fail a newer bench (the
+            # re-baseline procedure in the README covers catching up).
+            entry["status"] = "missing"
+        elif direction == "higher":
+            if log_scale:
+                cur_v = math.log10(max(cur, 1e-12))
+                base_v = math.log10(max(base, 1e-12))
+                floor = base_v * (1.0 - tolerance)
+            else:
+                cur_v = cur
+                floor = base * (1.0 - tolerance)
+            entry["floor"] = floor
+            if cur_v < floor:
+                entry["status"] = "regressed"
+        else:  # lower is better
+            ceiling = base * (1.0 + tolerance) + LOWER_METRIC_ABSOLUTE_SLACK
+            entry["ceiling"] = ceiling
+            if cur > ceiling:
+                entry["status"] = "regressed"
+        metrics.append(entry)
+    return {
+        "tolerance": tolerance,
+        "metrics": metrics,
+        "regressions": [m["metric"] for m in metrics if m["status"] == "regressed"],
+        "passed": all(m["status"] != "regressed" for m in metrics),
+    }
+
+
+def format_check(report):
+    """Human-readable lines for a :func:`compare_to_baseline` report."""
+    lines = [
+        f"bench gate (tolerance {report['tolerance']:.0%}, "
+        f"{len(report['metrics'])} metrics):"
+    ]
+    for m in report["metrics"]:
+        if m["status"] == "missing":
+            lines.append(f"  {m['metric']:36s} missing (not gated)")
+            continue
+        flag = "REGRESSED" if m["status"] == "regressed" else "ok"
+        lines.append(
+            f"  {m['metric']:36s} {m['current']:12.4g} vs baseline "
+            f"{m['baseline']:12.4g}  {flag}"
+        )
+    lines.append(
+        "bench gate: PASSED" if report["passed"] else
+        f"bench gate: FAILED ({', '.join(report['regressions'])})"
+    )
+    return "\n".join(lines)
+
+
+def load_baseline(path):
+    """Read a baseline JSON written by :func:`run_bench`."""
+    with open(path) as fh:
+        return json.load(fh)
 
 
 def format_summary(results):

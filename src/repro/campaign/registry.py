@@ -1,0 +1,77 @@
+"""Resolve registry experiments to their campaign protocol.
+
+A campaign-capable experiment module exposes three callables (shared, or
+suffixed per figure id for modules that cover several figures):
+
+* ``campaign_points(seed=, smoke=)`` (or ``campaign_points_<id>``) —
+  the deterministic parameter grid, a list of JSON-safe dicts;
+* ``run_point(params, seed)`` (or ``run_point_<id>``) — one pure grid
+  point returning one figure row;
+* ``aggregate(rows, seed=)`` (or ``aggregate_<id>``) — merge the rows,
+  in grid order, into the exact :class:`ExperimentResult` the monolithic
+  ``run()`` produces.
+
+The module's own ``run()`` is required to be implemented *as* "points →
+run_point → aggregate", which is what makes sharded and monolithic
+executions bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.registry import REGISTRY, resolve_module
+
+
+@dataclass(frozen=True)
+class CampaignDef:
+    """The resolved campaign protocol for one experiment id."""
+
+    experiment: str
+    description: str
+    points: object
+    run_point: object
+    aggregate: object
+
+
+def _resolve(module, base, experiment_id):
+    specific = getattr(module, f"{base}_{experiment_id}", None)
+    return specific if specific is not None else getattr(module, base, None)
+
+
+def get_campaign(experiment_id):
+    """The :class:`CampaignDef` for an experiment id.
+
+    Raises ``KeyError`` for unknown experiments and for registry
+    experiments that do not implement the campaign protocol.
+    """
+    experiment_id = experiment_id.lower()
+    module = resolve_module(experiment_id)  # KeyError on unknown ids
+    points = _resolve(module, "campaign_points", experiment_id)
+    run_point = _resolve(module, "run_point", experiment_id)
+    aggregate = _resolve(module, "aggregate", experiment_id)
+    if points is None or run_point is None or aggregate is None:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no campaign support; "
+            f"campaign-capable experiments: {', '.join(campaign_capable())}"
+        )
+    return CampaignDef(
+        experiment=experiment_id,
+        description=REGISTRY[experiment_id][1],
+        points=points,
+        run_point=run_point,
+        aggregate=aggregate,
+    )
+
+
+def campaign_capable():
+    """Sorted ids of every registry experiment with campaign support."""
+    capable = []
+    for experiment_id in sorted(REGISTRY):
+        module = resolve_module(experiment_id)
+        if all(
+            _resolve(module, base, experiment_id) is not None
+            for base in ("campaign_points", "run_point", "aggregate")
+        ):
+            capable.append(experiment_id)
+    return capable

@@ -9,7 +9,10 @@ Three commands:
 * ``fleet`` — multi-tag network simulation over one shared ambient cell;
 * ``trace`` — run with stage tracing on and write a Chrome trace JSON;
 * ``chaos`` — fault-injection sweeps and degradation curves;
-* ``bench`` — time the DSP hot path and write a perf baseline JSON;
+* ``bench`` — time the DSP hot path and write a perf baseline JSON; with
+  ``--check`` it gates the run against a committed baseline;
+* ``campaign`` — sharded, resumable execution of a registry experiment
+  with per-shard checkpoints (see DESIGN.md §13);
 * ``report`` — write the full evaluation report.
 
 Installed as the ``repro`` console script (and ``lscatter``, its alias).
@@ -18,9 +21,24 @@ Installed as the ``repro`` console script (and ``lscatter``, its alias).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+
+def _refuse_overwrite(path, force):
+    """Guard for commands whose output path may hold previous results.
+
+    Returns an error exit code, or ``None`` when writing is allowed.
+    Overwriting is opt-in (``--force``) because trace/fleet outputs
+    default to the same committed filename.
+    """
+    if force or not os.path.exists(path):
+        return None
+    return _fail_usage(
+        f"output file {path!r} already exists; pass --force to overwrite"
+    )
 
 
 def _cmd_simulate(args):
@@ -111,6 +129,9 @@ def _validate_chrome_trace(path):
 
 
 def _cmd_trace(args):
+    error = _refuse_overwrite(args.output, args.force)
+    if error is not None:
+        return error
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace as obs_trace
     from repro.obs.export import format_span_tree, write_chrome_trace
@@ -168,6 +189,10 @@ def _cmd_fleet(args):
     error = _validate_fleet(args)
     if error is not None:
         return error
+    if args.trace:
+        error = _refuse_overwrite(args.trace_output, args.force)
+        if error is not None:
+            return error
     from repro.fleet import Deployment, FleetRunner
 
     deployment = Deployment.ring(
@@ -222,8 +247,13 @@ def _cmd_chaos(args):
                     f"unknown chaos kind {kind!r}; choose from "
                     f"{', '.join(CHAOS_KINDS)}"
                 )
+    # Mirror bench: smoke runs default to artifacts/ so CI never clobbers
+    # the committed full-mode report (CHAOS_PR3.json).
+    output = args.output
+    if output is None:
+        output = "artifacts/chaos_smoke.json" if args.smoke else "CHAOS_PR3.json"
     report = run_chaos(
-        output=args.output,
+        output=output,
         smoke=args.smoke,
         seed=args.seed,
         max_severity=args.max_severity,
@@ -254,24 +284,120 @@ def _cmd_chaos(args):
             f"{fleet['scratch_corruption']['integrity_failures']})"
         )
     print(f"chaos: {'PASSED' if report['passed'] else 'FAILED'}")
-    if args.output:
-        print(f"wrote {args.output}")
+    print(f"wrote {output}")
     return 0 if report["passed"] else 1
 
 
 def _cmd_bench(args):
-    from repro.bench import format_summary, run_bench
+    from repro.bench import (
+        compare_to_baseline,
+        format_check,
+        format_summary,
+        load_baseline,
+        run_bench,
+    )
 
+    if args.tolerance < 0:
+        return _fail_usage(f"--tolerance must be >= 0, got {args.tolerance}")
+    if args.check and not os.path.exists(args.check):
+        return _fail_usage(f"baseline file {args.check!r} does not exist")
+    # Smoke runs default to a scratch path under artifacts/ so CI never
+    # clobbers the committed full-mode baseline (BENCH_PR2.json).
+    output = args.output
+    if output is None:
+        output = "artifacts/bench_smoke.json" if args.smoke else "BENCH_PR2.json"
     results = run_bench(
-        output=args.output,
+        output=output,
         bandwidth=args.bandwidth,
         repeats=args.repeats,
         smoke=args.smoke,
     )
     print(format_summary(results))
-    if args.output:
-        print(f"wrote {args.output}")
+    print(f"wrote {output}")
+    if args.check:
+        report = compare_to_baseline(
+            results, load_baseline(args.check), tolerance=args.tolerance
+        )
+        print(format_check(report))
+        if not report["passed"]:
+            return 1
     return 0
+
+
+def _cmd_campaign(args):
+    from repro.campaign import CampaignRunner, CampaignSpec, campaign_capable
+    from repro.experiments.registry import REGISTRY
+
+    if args.list:
+        capable = campaign_capable()
+        for experiment_id in capable:
+            print(f"{experiment_id:12s} {REGISTRY[experiment_id][1]}")
+        return 0
+    if not args.id:
+        return _fail_usage("an experiment id is required (or --list)")
+    if args.shards < 1:
+        return _fail_usage(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_index is not None and not (
+        0 <= args.shard_index < args.shards
+    ):
+        return _fail_usage(
+            f"--shard-index must be in [0, {args.shards}), "
+            f"got {args.shard_index}"
+        )
+    if args.workers < 1:
+        return _fail_usage(f"--workers must be >= 1, got {args.workers}")
+
+    spec = CampaignSpec(experiment=args.id, seed=args.seed, smoke=args.smoke)
+    run_dir = args.run_dir
+    if run_dir is None:
+        run_dir = os.path.join(
+            "artifacts", "campaign", args.id + ("-smoke" if args.smoke else "")
+        )
+    runner = CampaignRunner(
+        spec,
+        run_dir,
+        workers=args.workers,
+        n_shards=args.shards,
+        shard_index=args.shard_index,
+        resume=args.resume,
+        on_error="partial",
+    )
+    try:
+        report = runner.run()
+    except KeyError as exc:
+        return _fail_usage(str(exc.args[0]) if exc.args else str(exc))
+
+    job = (
+        "full grid"
+        if args.shard_index is None
+        else f"shard {args.shard_index}/{args.shards}"
+    )
+    # The nightly workflow greps this line ("resumed N") — keep wording
+    # stable.
+    print(
+        f"campaign {spec.experiment}: {job}, {len(report.outcomes)} shard(s) "
+        f"owned — completed {report.completed}, resumed {report.resumed}, "
+        f"failed {report.failed}"
+    )
+    for outcome in report.outcomes:
+        if outcome.status == "failed":
+            print(f"  shard {outcome.shard_id} FAILED: {outcome.error}")
+    print(f"manifest: {report.manifest_path}")
+    if report.result is not None:
+        print(
+            f"grid complete ({report.checkpointed}/{report.total_shards} "
+            f"checkpoints verified); aggregated result:"
+        )
+        print(report.result.format_table())
+        if report.result.notes:
+            print(f"# {report.result.notes}")
+    else:
+        print(
+            f"grid incomplete: {report.checkpointed}/{report.total_shards} "
+            f"shard checkpoints verified; run the remaining shard jobs "
+            f"(or --resume) to aggregate"
+        )
+    return 1 if report.failed else 0
 
 
 def _cmd_survey(args):
@@ -330,6 +456,11 @@ def build_parser():
         action="store_true",
         help="skip the built-in end-to-end pipeline probe run",
     )
+    trace.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite --output if it already exists",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     fleet = sub.add_parser("fleet", help="multi-tag network simulation")
@@ -364,12 +495,22 @@ def build_parser():
         default="TRACE_PR4.json",
         help="Chrome trace path for --trace (one thread track per tag)",
     )
+    fleet.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite --trace-output if it already exists",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection sweeps and degradation curves"
     )
-    chaos.add_argument("--output", default="CHAOS_PR3.json")
+    chaos.add_argument(
+        "--output",
+        default=None,
+        help="report JSON path (default CHAOS_PR3.json, or "
+        "artifacts/chaos_smoke.json in smoke mode)",
+    )
     chaos.add_argument(
         "--smoke",
         action="store_true",
@@ -396,7 +537,12 @@ def build_parser():
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser("bench", help="benchmark the DSP hot path")
-    bench.add_argument("--output", default="BENCH_PR2.json")
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="baseline JSON path (default BENCH_PR2.json, or "
+        "artifacts/bench_smoke.json in smoke mode)",
+    )
     bench.add_argument(
         "--bandwidth",
         type=float,
@@ -414,7 +560,69 @@ def build_parser():
         action="store_true",
         help="fast CI mode: narrow carrier, few repeats",
     )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="gate the run against a committed baseline JSON; exits 1 on "
+        "regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slack allowed vs the --check baseline (default 0.25)",
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded, resumable execution of a registry experiment",
+    )
+    campaign.add_argument(
+        "id", nargs="?", help="experiment id (omit with --list)"
+    )
+    campaign.add_argument(
+        "--list",
+        action="store_true",
+        help="list campaign-capable experiments and exit",
+    )
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: reduced parameter grid",
+    )
+    campaign.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the grid round-robin into N slices",
+    )
+    campaign.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        help="run only slice I of --shards (CI matrix jobs); omit to run "
+        "every slice in this process",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards whose run-dir checkpoint verifies (CRC + identity)",
+    )
+    campaign.add_argument(
+        "--run-dir",
+        default=None,
+        help="checkpoint directory (default artifacts/campaign/<id>)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for shard execution",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     survey = sub.add_parser("survey", help="ambient-traffic survey for a venue")
     survey.add_argument("--venue", default="home")

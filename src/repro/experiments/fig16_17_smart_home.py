@@ -1,28 +1,42 @@
-"""Figs 16/17: smart home over 24 hours — throughput and occupancy."""
+"""Figs 16/17: smart home over 24 hours — throughput and occupancy.
+
+Campaign-capable: one shard per hour of the day.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.channel.link import LinkBudget
-from repro.experiments.diurnal_common import hourly_throughput_rows
+from repro.experiments.diurnal_common import (
+    hourly_throughput_row,
+    occupancy_rows,
+)
 from repro.experiments.registry import ExperimentResult
 
+#: Hours sampled by the smoke (CI) campaign grid.
+SMOKE_HOURS = (0, 8, 12, 18)
 
-def _rows(seed):
-    return hourly_throughput_rows(
+
+def campaign_points(seed=0, smoke=False):
+    hours = SMOKE_HOURS if smoke else tuple(range(24))
+    return [{"hour": int(h)} for h in hours]
+
+
+def run_point(params, seed):
+    """One hour of the smart-home day (both figures share the row)."""
+    return hourly_throughput_row(
         venue_budget=LinkBudget(venue="smart_home"),
         traffic_venue="home",
-        hours=range(24),
+        hour=params["hour"],
         seed=seed,
         enb_to_tag_ft=3.0,
         tag_to_ue_ft=3.0,
     )
 
 
-def run_fig16(seed=0):
-    """Throughput box-plot series: WiFi backscatter vs LScatter."""
-    rows = _rows(seed)
+def aggregate_fig16(rows, seed=0):
+    rows = list(rows)
     wifi_avg = float(np.mean([r["wifi_bs_kbps_median"] for r in rows]))
     lte_avg = float(np.mean([r["lscatter_mbps_median"] for r in rows]))
     return ExperimentResult(
@@ -37,22 +51,27 @@ def run_fig16(seed=0):
     )
 
 
-def run_fig17(seed=0):
-    """Traffic occupancy ratio of WiFi and LTE over the same day."""
-    rows = [
-        {
-            "hour": r["hour"],
-            "wifi_occupancy": r["wifi_occupancy"],
-            "lte_occupancy": r["lte_occupancy"],
-        }
-        for r in _rows(seed)
-    ]
+def aggregate_fig17(rows, seed=0):
     return ExperimentResult(
         name="fig17",
         description="Smart home 24 h traffic occupancy (WiFi vs LTE)",
-        rows=rows,
+        rows=occupancy_rows(rows),
         notes="LTE stays at 1.0 through the night; WiFi peaks in the evening.",
     )
+
+
+def _rows(seed):
+    return [run_point(p, seed) for p in campaign_points(seed=seed)]
+
+
+def run_fig16(seed=0):
+    """Throughput box-plot series: WiFi backscatter vs LScatter."""
+    return aggregate_fig16(_rows(seed), seed=seed)
+
+
+def run_fig17(seed=0):
+    """Traffic occupancy ratio of WiFi and LTE over the same day."""
+    return aggregate_fig17(_rows(seed), seed=seed)
 
 
 run = run_fig16

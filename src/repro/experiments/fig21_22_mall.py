@@ -1,34 +1,44 @@
-"""Figs 21/22: shopping mall, 10 am - 9 pm — throughput and occupancy."""
+"""Figs 21/22: shopping mall, 10 am - 9 pm — throughput and occupancy.
+
+Campaign-capable: one shard per mall opening hour.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.channel.link import LinkBudget
-from repro.experiments.diurnal_common import hourly_throughput_rows
+from repro.experiments.diurnal_common import (
+    hourly_throughput_row,
+    occupancy_rows,
+)
 from repro.experiments.registry import ExperimentResult
 
 #: Mall opening hours sampled by the paper.
 MALL_HOURS = range(10, 22)
 
+#: Hours sampled by the smoke (CI) campaign grid.
+SMOKE_HOURS = (10, 15, 20)
 
-def _rows(seed):
-    return hourly_throughput_rows(
+
+def campaign_points(seed=0, smoke=False):
+    hours = SMOKE_HOURS if smoke else tuple(MALL_HOURS)
+    return [{"hour": int(h)} for h in hours]
+
+
+def run_point(params, seed):
+    """One hour of the mall day (both figures share the row)."""
+    return hourly_throughput_row(
         venue_budget=LinkBudget(venue="shopping_mall"),
         traffic_venue="mall",
-        hours=MALL_HOURS,
+        hour=params["hour"],
         seed=seed,
         enb_to_tag_ft=5.0,
         tag_to_ue_ft=10.0,
     )
 
 
-def run_fig21(seed=0):
-    """Throughput 10am-9pm: WiFi backscatter fluctuates, LScatter is flat."""
-    rows = _rows(seed)
-    spread = [
-        r["lscatter_mbps_p75"] - r["lscatter_mbps_p25"] for r in rows
-    ]
+def aggregate_fig21(rows, seed=0):
+    rows = list(rows)
+    spread = [r["lscatter_mbps_p75"] - r["lscatter_mbps_p25"] for r in rows]
     return ExperimentResult(
         name="fig21",
         description="Shopping mall 10am-9pm throughput",
@@ -40,22 +50,27 @@ def run_fig21(seed=0):
     )
 
 
-def run_fig22(seed=0):
-    """Occupancy over mall hours."""
-    rows = [
-        {
-            "hour": r["hour"],
-            "wifi_occupancy": r["wifi_occupancy"],
-            "lte_occupancy": r["lte_occupancy"],
-        }
-        for r in _rows(seed)
-    ]
+def aggregate_fig22(rows, seed=0):
     return ExperimentResult(
         name="fig22",
         description="Shopping mall traffic occupancy (WiFi vs LTE)",
-        rows=rows,
+        rows=occupancy_rows(rows),
         notes="WiFi occupancy approaches ~0.5 around 8 pm; LTE pegged at 1.0.",
     )
+
+
+def _rows(seed):
+    return [run_point(p, seed) for p in campaign_points(seed=seed)]
+
+
+def run_fig21(seed=0):
+    """Throughput 10am-9pm: WiFi backscatter fluctuates, LScatter is flat."""
+    return aggregate_fig21(_rows(seed), seed=seed)
+
+
+def run_fig22(seed=0):
+    """Occupancy over mall hours."""
+    return aggregate_fig22(_rows(seed), seed=seed)
 
 
 run = run_fig21

@@ -1,8 +1,10 @@
-"""Figs 23/24: mall distance sweeps — throughput and BER for the three arms."""
+"""Figs 23/24: mall distance sweeps — throughput and BER for the three arms.
+
+Campaign-capable: one shard per tag-to-UE distance; Fig. 23 and Fig. 24
+shard over the same grid with figure-specific point functions.
+"""
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.baselines import SymbolLteModel, WifiBackscatterModel
 from repro.channel.link import LinkBudget
@@ -19,6 +21,9 @@ ENB_TO_TAG_FT = 5.0
 #: baseline tag was USRP-triggered on dense traffic).
 WIFI_TEST_OCCUPANCY = 0.9
 
+#: Smoke (CI) campaign grid.
+SMOKE_DISTANCES_FT = (10, 100, 180)
+
 
 def _models():
     budget = LinkBudget(venue="shopping_mall")
@@ -29,25 +34,45 @@ def _models():
     )
 
 
-def run_fig23(seed=0):
-    """Throughput vs distance (log-scale y in the paper)."""
+def campaign_points(seed=0, smoke=False):
+    grid = SMOKE_DISTANCES_FT if smoke else DISTANCES_FT
+    return [{"distance_ft": int(d)} for d in grid]
+
+
+def run_point_fig23(params, seed):
     lscatter, symbol_lte, wifi = _models()
-    rows = []
-    crossover = None
-    for d in DISTANCES_FT:
-        wifi_bps = wifi.throughput_bps(WIFI_TEST_OCCUPANCY, ENB_TO_TAG_FT, d)
-        sym_bps = symbol_lte.throughput_bps(ENB_TO_TAG_FT, d)
-        ls_bps = lscatter.predict(ENB_TO_TAG_FT, d).throughput_bps
-        if crossover is None and sym_bps > wifi_bps:
-            crossover = d
-        rows.append(
-            {
-                "distance_ft": d,
-                "wifi_backscatter_mbps": wifi_bps / 1e6,
-                "symbol_lte_mbps": sym_bps / 1e6,
-                "lscatter_mbps": ls_bps / 1e6,
-            }
+    d = params["distance_ft"]
+    return {
+        "distance_ft": d,
+        "wifi_backscatter_mbps": wifi.throughput_bps(
+            WIFI_TEST_OCCUPANCY, ENB_TO_TAG_FT, d
         )
+        / 1e6,
+        "symbol_lte_mbps": symbol_lte.throughput_bps(ENB_TO_TAG_FT, d) / 1e6,
+        "lscatter_mbps": lscatter.predict(ENB_TO_TAG_FT, d).throughput_bps
+        / 1e6,
+    }
+
+
+def run_point_fig24(params, seed):
+    lscatter, symbol_lte, wifi = _models()
+    d = params["distance_ft"]
+    return {
+        "distance_ft": d,
+        "wifi_backscatter_ber": wifi.ber(ENB_TO_TAG_FT, d),
+        "symbol_lte_ber": symbol_lte.ber(ENB_TO_TAG_FT, d),
+        "lscatter_ber": lscatter.ber(ENB_TO_TAG_FT, d),
+    }
+
+
+def aggregate_fig23(rows, seed=0):
+    rows = list(rows)
+    crossover = None
+    for row in rows:
+        if crossover is None and row["symbol_lte_mbps"] > row[
+            "wifi_backscatter_mbps"
+        ]:
+            crossover = row["distance_ft"]
     return ExperimentResult(
         name="fig23",
         description="Mall: throughput vs distance for the three arms",
@@ -59,30 +84,31 @@ def run_fig23(seed=0):
     )
 
 
-def run_fig24(seed=0):
-    """BER vs distance (log-scale y in the paper)."""
-    lscatter, symbol_lte, wifi = _models()
-    rows = []
-    for d in DISTANCES_FT:
-        rows.append(
-            {
-                "distance_ft": d,
-                "wifi_backscatter_ber": wifi.ber(ENB_TO_TAG_FT, d),
-                "symbol_lte_ber": symbol_lte.ber(ENB_TO_TAG_FT, d),
-                "lscatter_ber": lscatter.ber(ENB_TO_TAG_FT, d),
-            }
-        )
+def aggregate_fig24(rows, seed=0):
+    lscatter, _, _ = _models()
     ls40 = lscatter.ber(ENB_TO_TAG_FT, 40)
     ls150 = lscatter.ber(ENB_TO_TAG_FT, 150)
     return ExperimentResult(
         name="fig24",
         description="Mall: BER vs distance for the three arms",
-        rows=rows,
+        rows=list(rows),
         notes=(
             f"LScatter BER {ls40:.1e} at 40 ft (paper <0.1%) and {ls150:.1e} "
             "at 150 ft (paper <1%)."
         ),
     )
+
+
+def run_fig23(seed=0):
+    """Throughput vs distance (log-scale y in the paper)."""
+    points = campaign_points(seed=seed)
+    return aggregate_fig23([run_point_fig23(p, seed) for p in points], seed)
+
+
+def run_fig24(seed=0):
+    """BER vs distance (log-scale y in the paper)."""
+    points = campaign_points(seed=seed)
+    return aggregate_fig24([run_point_fig24(p, seed) for p in points], seed)
 
 
 run = run_fig23

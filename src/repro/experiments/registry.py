@@ -66,15 +66,26 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def get_experiment(experiment_id):
-    """Resolve an experiment id to its ``run`` callable."""
+def resolve_module(experiment_id):
+    """Import and return the module backing an experiment id.
+
+    Shared by the experiment runner and the campaign layer
+    (:mod:`repro.campaign`), which probes the module for the
+    ``campaign_points`` / ``run_point`` / ``aggregate`` protocol.
+    """
     experiment_id = experiment_id.lower()
     if experiment_id not in _EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(_EXPERIMENTS)}"
         )
     module_name, _ = _EXPERIMENTS[experiment_id]
-    module = importlib.import_module(module_name)
+    return importlib.import_module(module_name)
+
+
+def get_experiment(experiment_id):
+    """Resolve an experiment id to its ``run`` callable."""
+    experiment_id = experiment_id.lower()
+    module = resolve_module(experiment_id)
     # Modules covering several figures expose run_<id>; single ones, run.
     specific = getattr(module, f"run_{experiment_id}", None)
     return specific if specific is not None else module.run

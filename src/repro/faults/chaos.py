@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 
 import numpy as np
 
@@ -284,6 +285,9 @@ def run_chaos(
     report["passed"] = bool(all(checks))
 
     if output:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(output, "w") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")

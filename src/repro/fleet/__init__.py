@@ -22,7 +22,13 @@ Entry points: ``repro fleet`` on the command line, experiment id
 ``fleetn`` in the registry.
 """
 
-from repro.fleet.ambient import AmbientCache, AmbientHandle, AmbientIntegrityError
+from repro.fleet.ambient import (
+    AmbientCache,
+    AmbientHandle,
+    AmbientIntegrityError,
+    process_cache,
+    reset_process_cache,
+)
 from repro.fleet.deployment import Deployment, TagPlacement
 from repro.fleet.engine import EngineTelemetry, ParallelRunEngine, TaskFailure
 from repro.fleet.report import FleetReport, TagResult
@@ -38,6 +44,8 @@ __all__ = [
     "AmbientCache",
     "AmbientHandle",
     "AmbientIntegrityError",
+    "process_cache",
+    "reset_process_cache",
     "TaskFailure",
     "Deployment",
     "TagPlacement",

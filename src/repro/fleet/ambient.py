@@ -240,3 +240,32 @@ class AmbientCache:
             self.clear()
         except Exception:
             pass
+
+
+#: Lazily-created per-process shared cache (see :func:`process_cache`).
+_PROCESS_CACHE = None
+
+
+def process_cache():
+    """The process-global :class:`AmbientCache`.
+
+    Campaign shards run as pure tasks inside long-lived worker processes
+    (:class:`~repro.fleet.engine.ParallelRunEngine` pools); IQ-level
+    points that share an ambient tuple — e.g. Fig. 18's LoS and NLoS arms
+    at one bandwidth, or re-runs of the same shard after a retry — reuse
+    one capture instead of regenerating it per point.  Entries live for
+    the lifetime of the process (a worker holds at most one sweep's worth
+    of captures); call :func:`reset_process_cache` to drop them.
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = AmbientCache()
+    return _PROCESS_CACHE
+
+
+def reset_process_cache():
+    """Close and forget the process-global cache (tests, memory pressure)."""
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is not None:
+        _PROCESS_CACHE.close()
+        _PROCESS_CACHE = None

@@ -99,40 +99,49 @@ class ParallelRunEngine:
             raise ValueError("on_error must be 'raise' or 'partial'")
         self.telemetry = EngineTelemetry(workers=self.workers)
 
-    def map(self, fn, tasks):
+    def map(self, fn, tasks, on_result=None):
         """Apply ``fn`` to every task; returns results in task order.
 
         ``fn(task)`` must return ``(elapsed_seconds, result)`` so the
         telemetry can compare wall time against serial-equivalent time.
         Slots of tasks that exhausted every retry hold
         :class:`TaskFailure` when ``on_error='partial'``.
+
+        ``on_result(index, result)`` is invoked in the parent process as
+        each slot is finalised (harvest order, not task order) — the hook
+        the campaign layer uses to checkpoint completed shards, so a batch
+        killed partway still keeps everything already harvested.  It fires
+        for :class:`TaskFailure` slots too; it does not fire for a task
+        whose failure propagates in ``on_error='raise'`` mode.
         """
         tasks = list(tasks)
         telemetry = self.telemetry
         start = time.perf_counter()
         if self.workers <= 1 or len(tasks) <= 1:
-            results = self._run_serial(fn, tasks)
+            results = self._run_serial(fn, tasks, on_result)
         else:
             try:
-                results = self._run_pool(fn, tasks)
+                results = self._run_pool(fn, tasks, on_result)
             except (BrokenProcessPool, OSError, PermissionError):
                 # The pool itself could not be (re)built — e.g. a sandbox
                 # with no process spawning. Finish the batch serially.
                 telemetry.fell_back_serial = True
                 obs_metrics.counter_inc("fleet.serial_fallbacks")
-                results = self._run_serial(fn, tasks)
+                results = self._run_serial(fn, tasks, on_result)
         telemetry.wall_seconds = time.perf_counter() - start
         return results
 
     # -- serial path -------------------------------------------------------------
 
-    def _run_serial(self, fn, tasks):
+    def _run_serial(self, fn, tasks, on_result=None):
         results = [None] * len(tasks)
         for index in range(len(tasks)):
             try:
                 results[index] = self._run_local(fn, tasks[index])
             except Exception as exc:
                 self._recover(fn, tasks, index, results, first_error=exc)
+            if on_result is not None:
+                on_result(index, results[index])
         return results
 
     def _run_local(self, fn, task):
@@ -158,7 +167,7 @@ class ParallelRunEngine:
             except Exception:
                 pass
 
-    def _run_pool(self, fn, tasks):
+    def _run_pool(self, fn, tasks, on_result=None):
         telemetry = self.telemetry
         results = [None] * len(tasks)
         harvested = set()
@@ -182,6 +191,8 @@ class ParallelRunEngine:
                     else:
                         telemetry.task_seconds += elapsed
                         results[index] = result
+                        if on_result is not None:
+                            on_result(index, result)
             except FuturesTimeout:
                 for future, index in futures.items():
                     if index in harvested:
@@ -196,6 +207,8 @@ class ParallelRunEngine:
                         else:
                             telemetry.task_seconds += elapsed
                             results[index] = result
+                            if on_result is not None:
+                                on_result(index, result)
                         continue
                     future.cancel()
                     telemetry.timed_out += 1
@@ -204,6 +217,8 @@ class ParallelRunEngine:
                 self._terminate_workers(pool)
         for index, timed_out in sorted(recover):
             self._recover(fn, tasks, index, results, timed_out=timed_out)
+            if on_result is not None:
+                on_result(index, results[index])
         return results
 
     # -- recovery ----------------------------------------------------------------

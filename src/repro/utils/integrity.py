@@ -12,6 +12,11 @@ import zlib
 import numpy as np
 
 
+def crc32_bytes(data):
+    """CRC-32 of a bytes-like object (campaign checkpoint payloads)."""
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
 def crc32_array(array):
     """CRC-32 of an array's raw little-endian bytes."""
     contiguous = np.ascontiguousarray(array)

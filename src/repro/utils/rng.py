@@ -28,6 +28,23 @@ def make_rng(seed=None):
     return np.random.default_rng(seed)
 
 
+def stream_rng(seed, *key):
+    """Independent deterministic stream for ``(seed, *key)``.
+
+    Unlike threading one generator through a loop, every ``(seed, key)``
+    combination gets its own non-overlapping stream — so a parameter sweep
+    produces the same numbers whether its points run in one process, in
+    any order, or sharded across many jobs (the campaign layer's
+    requirement).  String components hash stably via CRC32.
+    """
+    entropy = []
+    for part in (seed, *key):
+        if isinstance(part, str):
+            part = zlib.crc32(part.encode("utf-8"))
+        entropy.append(int(part))
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
 def spawn_rngs(seed, count):
     """Spawn ``count`` statistically independent generators from one seed.
 

@@ -1,0 +1,20 @@
+import pytest
+
+import repro.experiments.registry as experiments_registry
+from tests.campaign import crashy_experiment
+
+
+@pytest.fixture()
+def crashy(monkeypatch):
+    """Register the crash-injection fixture experiment as ``crashy``.
+
+    Yields the fixture module with a clean crash set; both registry views
+    (module resolution and descriptions) are patched so the campaign
+    layer resolves it like any real experiment.
+    """
+    entry = ("tests.campaign.crashy_experiment", crashy_experiment.DESCRIPTION)
+    monkeypatch.setitem(experiments_registry._EXPERIMENTS, "crashy", entry)
+    monkeypatch.setitem(experiments_registry.REGISTRY, "crashy", entry)
+    crashy_experiment.CRASH_ON.clear()
+    yield crashy_experiment
+    crashy_experiment.CRASH_ON.clear()

@@ -1,0 +1,104 @@
+"""`repro campaign` command: listing, validation, sharded runs, resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_campaign_list(capsys):
+    assert main(["campaign", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig19" in out
+    assert "Distance-matrix throughput" in out
+
+
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        (["campaign"], "experiment id is required"),
+        (["campaign", "fig19", "--shards", "0"], "--shards must be >= 1"),
+        (
+            ["campaign", "fig19", "--shards", "2", "--shard-index", "2"],
+            "--shard-index must be in [0, 2)",
+        ),
+        (
+            ["campaign", "fig19", "--shard-index", "-1"],
+            "--shard-index must be in [0, 1)",
+        ),
+        (["campaign", "fig19", "--workers", "0"], "--workers must be >= 1"),
+        (["campaign", "nonesuch"], "unknown experiment"),
+        (["campaign", "fig08"], "no campaign support"),
+    ],
+)
+def test_campaign_validation_is_one_clean_line(capsys, argv, fragment):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert err.startswith("repro: error:")
+    assert err.count("\n") == 1
+
+
+def test_campaign_smoke_full_grid(tmp_path, capsys):
+    run_dir = tmp_path / "fig19"
+    code = main(
+        ["campaign", "fig19", "--smoke", "--run-dir", str(run_dir)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "completed 2, resumed 0, failed 0" in out
+    assert "grid complete" in out
+    assert "enb_to_tag_ft" in out  # aggregated table printed
+    manifest = json.load(open(run_dir / "manifest.json"))
+    assert manifest["experiment"] == "fig19"
+    assert [s["status"] for s in manifest["shards"]] == [
+        "completed", "completed"
+    ]
+
+
+def test_campaign_single_shard_then_resume(tmp_path, capsys):
+    run_dir = str(tmp_path / "fig19")
+    assert main(
+        [
+            "campaign", "fig19", "--smoke",
+            "--shards", "2", "--shard-index", "0",
+            "--run-dir", run_dir,
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "shard 0/2" in out
+    assert "grid incomplete: 1/2" in out
+    assert os.path.exists(
+        os.path.join(run_dir, "manifest-shard0of2.json")
+    )
+
+    assert main(
+        ["campaign", "fig19", "--smoke", "--resume", "--run-dir", run_dir]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "completed 1, resumed 1, failed 0" in out
+    assert "grid complete" in out
+
+
+def test_campaign_failure_exit_code(tmp_path, capsys, crashy):
+    crashy.CRASH_ON.add(1)
+    code = main(
+        ["campaign", "crashy", "--run-dir", str(tmp_path / "crashy")]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "failed 1" in out
+    assert "FAILED" in out
+    assert "grid incomplete" in out
+
+
+def test_campaign_default_run_dir_under_artifacts(tmp_path, capsys, monkeypatch, crashy):
+    monkeypatch.chdir(tmp_path)
+    assert main(["campaign", "crashy", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "grid complete" in out
+    assert os.path.isdir(
+        os.path.join("artifacts", "campaign", "crashy-smoke")
+    )

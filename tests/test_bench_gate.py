@@ -1,0 +1,101 @@
+"""Unit tests for the bench regression gate (`repro bench --check`)."""
+
+from repro.bench import GATE_METRICS, compare_to_baseline, format_check
+
+BASE = {
+    "ofdm": {"speedup": {"modulate": 2.0, "demodulate": 2.0, "combined": 2.0}},
+    "cfo": {"speedup": 1.8},
+    "sequence_cache": {"speedup": 1000.0},
+    "trace_overhead": {"overhead_fraction": 0.001},
+}
+
+
+def _with(path, value):
+    import copy
+
+    current = copy.deepcopy(BASE)
+    node = current
+    parts = path.split(".")
+    for part in parts[:-1]:
+        node = node[part]
+    node[parts[-1]] = value
+    return current
+
+
+def test_identical_results_pass():
+    report = compare_to_baseline(BASE, BASE, tolerance=0.25)
+    assert report["passed"]
+    assert report["regressions"] == []
+    assert len(report["metrics"]) == len(GATE_METRICS)
+
+
+def test_within_tolerance_passes():
+    report = compare_to_baseline(
+        _with("ofdm.speedup.combined", 2.0 * 0.8), BASE, tolerance=0.25
+    )
+    assert report["passed"]
+
+
+def test_higher_metric_regression_fails():
+    report = compare_to_baseline(
+        _with("ofdm.speedup.combined", 2.0 * 0.5), BASE, tolerance=0.25
+    )
+    assert not report["passed"]
+    assert report["regressions"] == ["ofdm.speedup.combined"]
+
+
+def test_log_scale_metric_uses_order_of_magnitude():
+    # 1000x -> 400x is a 13% log10 drop: inside a 25% tolerance even
+    # though the raw ratio collapsed by 60%.
+    report = compare_to_baseline(
+        _with("sequence_cache.speedup", 400.0), BASE, tolerance=0.25
+    )
+    assert report["passed"]
+    # 1000x -> 2x (log10 falls 3 -> 0.3) is a real cache regression.
+    report = compare_to_baseline(
+        _with("sequence_cache.speedup", 2.0), BASE, tolerance=0.25
+    )
+    assert report["regressions"] == ["sequence_cache.speedup"]
+
+
+def test_lower_metric_regression_and_absolute_slack():
+    # Near-zero overhead: absolute slack keeps noise from tripping the
+    # relative gate.
+    report = compare_to_baseline(
+        _with("trace_overhead.overhead_fraction", 0.004), BASE, tolerance=0.25
+    )
+    assert report["passed"]
+    report = compare_to_baseline(
+        _with("trace_overhead.overhead_fraction", 0.05), BASE, tolerance=0.25
+    )
+    assert report["regressions"] == ["trace_overhead.overhead_fraction"]
+
+
+def test_missing_metric_is_reported_not_gated():
+    import copy
+
+    old_baseline = copy.deepcopy(BASE)
+    del old_baseline["sequence_cache"]
+    report = compare_to_baseline(BASE, old_baseline, tolerance=0.25)
+    assert report["passed"]
+    missing = [m for m in report["metrics"] if m["status"] == "missing"]
+    assert [m["metric"] for m in missing] == ["sequence_cache.speedup"]
+    assert "missing (not gated)" in format_check(report)
+
+
+def test_format_check_flags_regressions():
+    report = compare_to_baseline(
+        _with("cfo.speedup", 0.1), BASE, tolerance=0.25
+    )
+    text = format_check(report)
+    assert "cfo.speedup" in text
+    assert "REGRESSED" in text
+    assert "bench gate: FAILED (cfo.speedup)" in text
+
+
+def test_zero_tolerance_requires_no_worse():
+    report = compare_to_baseline(
+        _with("ofdm.speedup.modulate", 1.999), BASE, tolerance=0.0
+    )
+    assert report["regressions"] == ["ofdm.speedup.modulate"]
+    assert compare_to_baseline(BASE, BASE, tolerance=0.0)["passed"]

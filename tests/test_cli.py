@@ -233,6 +233,90 @@ def test_fleet_trace_flag_writes_per_tag_tracks(tmp_path, capsys, _clean_obs_sta
     assert len(tids) == 2  # one thread track per tag
 
 
+def test_trace_refuses_to_overwrite_without_force(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    out_path.write_text("{}")
+    assert main(["trace", "--output", str(out_path)]) == 2
+    err = capsys.readouterr().err
+    assert "already exists" in err and "--force" in err
+    assert out_path.read_text() == "{}"  # untouched
+
+
+def test_trace_force_overwrites(tmp_path, capsys, _clean_obs_state):
+    out_path = tmp_path / "trace.json"
+    out_path.write_text("{}")
+    assert main(["trace", "--output", str(out_path), "--force"]) == 0
+    assert "traceEvents" in out_path.read_text()
+
+
+def test_fleet_trace_refuses_to_overwrite_without_force(tmp_path, capsys):
+    out_path = tmp_path / "fleet_trace.json"
+    out_path.write_text("{}")
+    code = main(
+        [
+            "fleet", "-n", "2", "--frames", "2", "--payload", "500",
+            "--trace", "--trace-output", str(out_path),
+        ]
+    )
+    assert code == 2
+    assert "already exists" in capsys.readouterr().err
+    assert out_path.read_text() == "{}"
+
+
+def test_fleet_without_trace_ignores_stale_trace_output(tmp_path, capsys):
+    """The guard only applies when --trace will actually write the file."""
+    out_path = tmp_path / "fleet_trace.json"
+    out_path.write_text("{}")
+    code = main(
+        [
+            "fleet", "-n", "2", "--frames", "2", "--payload", "500",
+            "--trace-output", str(out_path),
+        ]
+    )
+    assert code == 0
+    assert out_path.read_text() == "{}"
+
+
+def test_bench_check_passes_against_itself(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    args = ["bench", "--smoke", "--bandwidth", "1.4", "--repeats", "2"]
+    assert main(args + ["--output", str(out_path)]) == 0
+    capsys.readouterr()
+    # Identical hardware, same process: a generous tolerance self-check
+    # must pass (this is exactly what CI runs against the committed
+    # baseline).
+    code = main(
+        args
+        + [
+            "--output", str(tmp_path / "bench2.json"),
+            "--check", str(out_path),
+            "--tolerance", "10.0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bench gate: PASSED" in out
+
+
+def test_bench_check_validation(tmp_path, capsys):
+    assert main(
+        ["bench", "--smoke", "--check", str(tmp_path / "nope.json")]
+    ) == 2
+    assert "does not exist" in capsys.readouterr().err
+    assert main(["bench", "--smoke", "--tolerance", "-1"]) == 2
+    assert "--tolerance must be >= 0" in capsys.readouterr().err
+
+
+def test_bench_smoke_defaults_to_artifacts(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(
+        ["bench", "--smoke", "--bandwidth", "1.4", "--repeats", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote artifacts/bench_smoke.json" in out
+    assert (tmp_path / "artifacts" / "bench_smoke.json").exists()
+
+
 def test_console_scripts_declared_and_importable():
     """pyproject must expose the `repro` (and `lscatter`) console scripts,
     both pointing at a callable that exists."""
