@@ -4,7 +4,7 @@ Times the vectorised frame-level DSP against the pinned pre-vectorisation
 loops (:func:`repro.lte.ofdm.modulate_frame_loop` and friends), the
 sequence cache cold/warm behaviour, and the end-to-end
 :class:`~repro.core.system.LScatterSystem` run, then writes the numbers to
-a JSON file (``BENCH_PR2.json`` by default) so every future change has a
+a JSON file (``BENCH_PR6.json`` by default) so every future change has a
 perf baseline to diff against.
 
 Timing methodology: the candidates are measured *interleaved* (one
@@ -45,6 +45,10 @@ GATE_METRICS = (
     ("cfo.speedup", "higher", False),
     ("sequence_cache.speedup", "higher", True),
     ("trace_overhead.overhead_fraction", "lower", False),
+    # Multi-cell ambient sharing: a warm topology re-run must hit the
+    # per-cell capture cache (missing in pre-PR6 baselines — reported,
+    # not gated, against those).
+    ("network.cache_hit_ratio", "higher", False),
 )
 
 #: Absolute slack for lower-is-better metrics whose baseline sits near 0
@@ -211,6 +215,57 @@ def _bench_fleet(smoke):
     }
 
 
+def _bench_network(smoke):
+    """Multi-cell scaling: (tags x cells) per second and ambient reuse.
+
+    Runs a 7-cell hexagonal network twice over one shared
+    :class:`~repro.fleet.ambient.AmbientCache`: the cold pass generates
+    every cell's capture, the warm pass must hit the cache for all of
+    them.  The scaling metric divides the *warm* wall time — what a
+    campaign's steady state pays — into the tag x cell workload; the hit
+    ratio ``(requests - transmit_calls) / requests`` is gated so per-cell
+    sharing cannot silently regress.
+    """
+    from repro.cells import NetworkDeployment, NetworkRunner, Topology
+    from repro.fleet.ambient import AmbientCache
+
+    n_tags = 4 if smoke else 8
+    topology = Topology.hex_cluster(
+        inter_site_ft=150.0, rings=1, n_frames=1 if smoke else 2
+    )
+    deployment = NetworkDeployment.scatter(n_tags, topology, seed=0)
+    with AmbientCache() as cache:
+
+        def one_run():
+            with NetworkRunner(
+                topology, deployment, seed=0, cache=cache, payload_length=2000
+            ) as runner:
+                return runner.run()
+
+        w0 = time.perf_counter()
+        one_run()
+        cold_wall = time.perf_counter() - w0
+        w0 = time.perf_counter()
+        report = one_run()
+        warm_wall = time.perf_counter() - w0
+        requests = cache.requests
+        transmits = cache.transmit_calls
+    workload = report.n_tags * report.n_cells
+    return {
+        "config": (
+            f"{report.n_cells} cells (hex), {n_tags} tags, 1.4 MHz, "
+            "cold + warm pass over one shared cache"
+        ),
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "tags_x_cells_per_second": workload / max(warm_wall, 1e-12),
+        "ambient_requests": requests,
+        "ambient_transmit_calls": transmits,
+        "cache_hit_ratio": (requests - transmits) / max(requests, 1),
+        "aggregate_goodput_bps": report.aggregate_goodput_bps,
+    }
+
+
 def _bench_trace_overhead(params, repeats, rng):
     """Disabled-tracing overhead on the instrumented OFDM hot path.
 
@@ -252,7 +307,7 @@ def _bench_trace_overhead(params, repeats, rng):
     }
 
 
-def run_bench(output="BENCH_PR2.json", bandwidth=None, repeats=None, smoke=False):
+def run_bench(output="BENCH_PR6.json", bandwidth=None, repeats=None, smoke=False):
     """Run the full benchmark battery and write ``output``.
 
     ``smoke=True`` (the CI mode) uses a narrow carrier and few repeats —
@@ -285,6 +340,7 @@ def run_bench(output="BENCH_PR2.json", bandwidth=None, repeats=None, smoke=False
         "trace_overhead": _bench_trace_overhead(params, repeats, rng),
         "end_to_end": _bench_end_to_end(repeats, smoke),
         "fleet": _bench_fleet(smoke),
+        "network": _bench_network(smoke),
         "cache_stats": cache_stats(),
     }
     if output:
@@ -416,5 +472,10 @@ def format_summary(results):
         f"{results['fleet']['worker_task_seconds'] * 1e3:.1f} ms in workers, "
         f"speedup {results['fleet']['speedup']:.2f}x "
         f"({results['fleet']['config']})",
+        f"network run      : "
+        f"{results['network']['tags_x_cells_per_second']:.1f} tagxcells/s warm, "
+        f"ambient cache hit ratio "
+        f"{results['network']['cache_hit_ratio']:.0%} "
+        f"({results['network']['config']})",
     ]
     return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Tag attach: rank the neighbourhood, pick a serving cell, verify by search.
+
+A tag bootstrapping in a multi-cell deployment does what a UE does: it
+hears the superposition of every nearby downlink, finds PSS/SSS, and camps
+on the strongest cell.  Two layers reproduce that here:
+
+* :func:`rank_cells` — the analytic ranking: every cell's post-pathloss
+  SNR at the tag's position, sorted best-first with ties broken
+  deterministically by cell ID.  This is exact, fast, and what large
+  sweeps use.
+* :func:`search_attach` — the IQ-verified pipeline: superpose the actual
+  neighbourhood captures at the tag (via the interference stage), run
+  :func:`repro.lte.cell_search` over the mixture, and confirm the detected
+  identity matches the analytic winner.  A mismatch falls back to the
+  analytic ranking and is counted (``cells.search_mismatches``) — a tag
+  deep in a collision zone may genuinely sync to the wrong cell.
+
+SNR ties are quantised to :data:`SNR_TIE_QUANTUM_DB` before ranking, so a
+tag equidistant from two cells attaches to the lower cell ID on every
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.interference import CellAmbient, neighbour_recipes
+from repro.lte.cell_search import cell_search
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+
+#: SNR differences below this (dB) count as ties, broken by cell ID.
+SNR_TIE_QUANTUM_DB = 1e-9
+
+
+@dataclass(frozen=True)
+class AttachCandidate:
+    """One cell as seen from a tag position."""
+
+    cell_id: int
+    snr_db: float
+    rx_dbm: float
+    distance_ft: float
+
+
+@dataclass(frozen=True)
+class AttachDecision:
+    """The outcome of one tag's attach procedure."""
+
+    tag: str
+    x_ft: float
+    y_ft: float
+    serving_cell_id: int
+    candidates: tuple = ()
+    #: True when an IQ cell search over the superposed neighbourhood
+    #: confirmed the serving cell's identity.
+    verified: bool = False
+    #: Cell identity the IQ search actually detected (search mode only).
+    searched_cell_id: int = None
+
+    @property
+    def serving(self):
+        """The serving cell's :class:`AttachCandidate`."""
+        for candidate in self.candidates:
+            if candidate.cell_id == self.serving_cell_id:
+                return candidate
+        raise KeyError(self.serving_cell_id)
+
+
+def rank_cells(topology, x_ft, y_ft):
+    """Every cell's :class:`AttachCandidate` at a point, best first.
+
+    Ranking is by post-pathloss SNR quantised to
+    :data:`SNR_TIE_QUANTUM_DB`; exact (and float-noise) ties go to the
+    lower cell ID, mirroring the PSS candidate ordering in
+    :mod:`repro.lte.cell_search`.
+    """
+    candidates = [
+        AttachCandidate(
+            cell_id=site.cell_id,
+            snr_db=float(topology.snr_db_at(site, x_ft, y_ft)),
+            rx_dbm=float(topology.rx_dbm_at(site, x_ft, y_ft)),
+            distance_ft=float(site.distance_ft(x_ft, y_ft)),
+        )
+        for site in topology.sites
+    ]
+    return sorted(
+        candidates,
+        key=lambda c: (-round(c.snr_db / SNR_TIE_QUANTUM_DB), c.cell_id),
+    )
+
+
+def attach(topology, name, x_ft, y_ft):
+    """Analytic attach: camp on the highest-ranked cell."""
+    candidates = rank_cells(topology, x_ft, y_ft)
+    obs_metrics.counter_inc("cells.attaches")
+    return AttachDecision(
+        tag=name,
+        x_ft=float(x_ft),
+        y_ft=float(y_ft),
+        serving_cell_id=candidates[0].cell_id,
+        candidates=tuple(candidates),
+    )
+
+
+def search_attach(topology, name, x_ft, y_ft, ambients):
+    """IQ-verified attach: cell search over the superposed neighbourhood.
+
+    The mixture is built exactly like the per-tag interference stage —
+    strongest cell at unit amplitude, every other cell at its relative
+    amplitude and deterministic timing offset — and
+    :func:`repro.lte.cell_search` runs over it.  The tag camps on the
+    analytic winner when the search confirms its identity; on a mismatch
+    it still camps on the searched identity *if that cell exists in the
+    topology* (the honest outcome: the tag synced to what it heard),
+    falling back to the analytic winner otherwise.
+    """
+    candidates = rank_cells(topology, x_ft, y_ft)
+    best = candidates[0]
+    serving_site = topology.site(best.cell_id)
+    with span("cells.attach.search") as sp:
+        recipes = neighbour_recipes(
+            topology, serving_site, x_ft, y_ft, ambients
+        )
+        stage = CellAmbient(
+            serving=ambients[best.cell_id], neighbours=recipes
+        ).load()
+        params = stage.capture.params
+        result = cell_search(stage.unit, params)
+        searched = int(result.cell_id)
+        sp.set(searched_cell_id=searched, analytic_cell_id=best.cell_id)
+    obs_metrics.counter_inc("cells.attaches")
+    obs_metrics.counter_inc("cells.search_attaches")
+    if searched == best.cell_id:
+        serving, verified = best.cell_id, True
+    else:
+        obs_metrics.counter_inc("cells.search_mismatches")
+        known = {candidate.cell_id for candidate in candidates}
+        serving, verified = (searched, False) if searched in known else (
+            best.cell_id,
+            False,
+        )
+    return AttachDecision(
+        tag=name,
+        x_ft=float(x_ft),
+        y_ft=float(y_ft),
+        serving_cell_id=serving,
+        candidates=tuple(candidates),
+        verified=verified,
+        searched_cell_id=searched,
+    )

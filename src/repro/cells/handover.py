@@ -1,0 +1,160 @@
+"""Handover: a moving deployment re-searching and re-attaching mid-run.
+
+A tag glued to a parcel or a bus crosses cell boundaries.  Its serving
+downlink fades, and at some point it must redo what it did at boot: run
+cell search over whatever it now hears and camp on the winner.  That
+re-synchronisation is not free — the tag cannot decode chips while it is
+hunting for PSS/SSS — so every handover charges a fixed number of half
+frames against the tag's goodput.
+
+The model walks a waypoint list (piecewise positions along the tag's
+route, one entry per equal time slice):
+
+* while the serving cell's post-pathloss SNR stays at or above
+  ``policy.search_snr_db``, the tag coasts — no search, no cost;
+* when it drops below, the tag re-runs cell search (the deterministic
+  analytic ranking of :func:`repro.cells.attach.rank_cells`) and hands
+  over only if the best candidate beats the serving cell by at least
+  ``policy.hysteresis_db`` — the standard A3-style margin that stops
+  ping-ponging on the boundary between two equal cells;
+* each executed handover costs ``policy.resync_half_frames`` half frames.
+
+Everything here is closed-form over the pathloss model, so a mobility
+trace is bit-identical at any worker count and any sharding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.attach import rank_cells
+from repro.obs import metrics as obs_metrics
+
+
+@dataclass(frozen=True)
+class HandoverPolicy:
+    """When to search and when to switch."""
+
+    #: Re-run cell search when serving SNR (dB) falls below this.
+    search_snr_db: float = 10.0
+    #: Switch only if the best candidate beats serving by this margin (dB).
+    hysteresis_db: float = 3.0
+    #: Half frames of decoding lost per executed handover (re-sync cost).
+    resync_half_frames: int = 2
+
+    def __post_init__(self):
+        if self.hysteresis_db < 0:
+            raise ValueError(
+                f"hysteresis_db must be >= 0, got {self.hysteresis_db}; a "
+                "negative margin would hand over to *weaker* cells"
+            )
+        if self.resync_half_frames < 0:
+            raise ValueError(
+                f"resync_half_frames must be >= 0, got {self.resync_half_frames}"
+            )
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One waypoint where the tag searched (and possibly switched)."""
+
+    waypoint: int
+    x_ft: float
+    y_ft: float
+    from_cell_id: int
+    to_cell_id: int
+    serving_snr_db: float
+    best_snr_db: float
+
+    @property
+    def switched(self):
+        return self.to_cell_id != self.from_cell_id
+
+
+@dataclass(frozen=True)
+class HandoverTrace:
+    """A tag's mobility outcome: serving cell per waypoint plus costs."""
+
+    tag: str
+    policy: HandoverPolicy
+    #: Serving cell id at each waypoint (index-aligned with the route).
+    serving_cells: tuple
+    #: Every waypoint where a search ran (switched or not).
+    events: tuple
+
+    @property
+    def n_searches(self):
+        return len(self.events)
+
+    @property
+    def n_handovers(self):
+        return sum(1 for event in self.events if event.switched)
+
+    @property
+    def resync_half_frames(self):
+        return self.n_handovers * self.policy.resync_half_frames
+
+    def resync_fraction(self, total_half_frames):
+        """Fraction of the tag's airtime burned re-synchronising.
+
+        This is what the network report multiplies goodput by (as
+        ``1 - fraction``); capped at 1.0 — a tag that hands over more
+        often than it can re-sync decodes nothing.
+        """
+        total = int(total_half_frames)
+        if total <= 0:
+            raise ValueError(
+                f"total_half_frames must be positive, got {total_half_frames}"
+            )
+        return min(1.0, self.resync_half_frames / total)
+
+
+def simulate_handover(topology, name, waypoints, policy=None):
+    """Walk ``waypoints`` and return the tag's :class:`HandoverTrace`.
+
+    The tag attaches at the first waypoint (best cell, ties to the lower
+    cell id) and then coasts, searching only when the serving SNR sags
+    below the policy threshold.
+    """
+    policy = policy or HandoverPolicy()
+    waypoints = [(float(x), float(y)) for x, y in waypoints]
+    if not waypoints:
+        raise ValueError(f"tag {name!r}: a mobility route needs >= 1 waypoint")
+
+    first = rank_cells(topology, *waypoints[0])
+    serving_id = first[0].cell_id
+    serving_cells = [serving_id]
+    events = []
+    for index, (x, y) in enumerate(waypoints[1:], start=1):
+        serving_snr = float(topology.snr_db_at(topology.site(serving_id), x, y))
+        if serving_snr >= policy.search_snr_db:
+            serving_cells.append(serving_id)
+            continue
+        best = rank_cells(topology, x, y)[0]
+        obs_metrics.counter_inc("cells.handover_searches")
+        next_id = serving_id
+        if (
+            best.cell_id != serving_id
+            and best.snr_db - serving_snr >= policy.hysteresis_db
+        ):
+            next_id = best.cell_id
+            obs_metrics.counter_inc("cells.handovers")
+        events.append(
+            HandoverEvent(
+                waypoint=index,
+                x_ft=x,
+                y_ft=y,
+                from_cell_id=serving_id,
+                to_cell_id=next_id,
+                serving_snr_db=serving_snr,
+                best_snr_db=float(best.snr_db),
+            )
+        )
+        serving_id = next_id
+        serving_cells.append(serving_id)
+    return HandoverTrace(
+        tag=name,
+        policy=policy,
+        serving_cells=tuple(serving_cells),
+        events=tuple(events),
+    )

@@ -7,6 +7,8 @@ Three commands:
   ``python -m repro.experiments``);
 * ``survey`` — print the ambient-traffic survey for a venue;
 * ``fleet`` — multi-tag network simulation over one shared ambient cell;
+* ``network`` — city-scale multi-cell simulation: cell search/attach,
+  inter-cell interference, handover (see DESIGN.md §15);
 * ``trace`` — run with stage tracing on and write a Chrome trace JSON;
 * ``chaos`` — fault-injection sweeps and degradation curves;
 * ``bench`` — time the DSP hot path and write a perf baseline JSON; with
@@ -232,6 +234,84 @@ def _cmd_fleet(args):
     return 0
 
 
+def _validate_network(args):
+    if args.tags < 1:
+        return _fail_usage(f"--tags must be >= 1, got {args.tags}")
+    if args.workers < 1:
+        return _fail_usage(f"--workers must be >= 1, got {args.workers}")
+    if args.frames < 1:
+        return _fail_usage(f"--frames must be >= 1, got {args.frames}")
+    if args.isd <= 0:
+        return _fail_usage(f"--isd must be positive, got {args.isd}")
+    if args.layout == "hex" and args.rings < 0:
+        return _fail_usage(f"--rings must be >= 0, got {args.rings}")
+    if args.layout == "grid" and (args.rows < 1 or args.cols < 1):
+        return _fail_usage(
+            f"--rows/--cols must be >= 1, got {args.rows}x{args.cols}"
+        )
+    return None
+
+
+def _cmd_network(args):
+    error = _validate_network(args)
+    if error is not None:
+        return error
+    import json
+
+    from repro.cells import NetworkDeployment, NetworkRunner, Topology
+
+    # Mirror bench/chaos: smoke runs default to artifacts/ so CI never
+    # clobbers the committed full-mode report (NETWORK_PR6.json).
+    output = args.output
+    if output is None:
+        output = (
+            "artifacts/network_smoke.json" if args.smoke else "NETWORK_PR6.json"
+        )
+    error = _refuse_overwrite(output, args.force)
+    if error is not None:
+        return error
+
+    n_frames = 1 if args.smoke else args.frames
+    n_tags = min(args.tags, 4) if args.smoke else args.tags
+    if args.layout == "grid":
+        topology = Topology.grid(
+            args.rows, args.cols, spacing_ft=args.isd, n_frames=n_frames
+        )
+    else:
+        rings = 1 if args.smoke else args.rings
+        topology = Topology.hex_cluster(
+            inter_site_ft=args.isd, rings=rings, n_frames=n_frames
+        )
+    deployment = NetworkDeployment.scatter(
+        n_tags, topology, seed=args.seed, margin_ft=args.isd / 3.0
+    )
+    with NetworkRunner(
+        topology,
+        deployment,
+        scheme=args.scheme,
+        workers=args.workers,
+        seed=args.seed,
+        attach_mode=args.attach,
+        payload_length=args.payload,
+    ) as runner:
+        report = runner.run()
+
+    print(
+        f"NetworkReport: {report.n_cells} cell(s) "
+        f"({args.layout}, {args.isd:g} ft pitch), {report.n_tags} tag(s), "
+        f"scheme={report.scheme}"
+    )
+    print(report.format_table())
+    directory = os.path.dirname(output)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(output, "w") as fh:
+        json.dump(report.summary(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
 def _cmd_chaos(args):
     if not 0.0 <= args.max_severity <= 1.0:
         return _fail_usage(
@@ -302,10 +382,10 @@ def _cmd_bench(args):
     if args.check and not os.path.exists(args.check):
         return _fail_usage(f"baseline file {args.check!r} does not exist")
     # Smoke runs default to a scratch path under artifacts/ so CI never
-    # clobbers the committed full-mode baseline (BENCH_PR2.json).
+    # clobbers the committed full-mode baseline (BENCH_PR6.json).
     output = args.output
     if output is None:
-        output = "artifacts/bench_smoke.json" if args.smoke else "BENCH_PR2.json"
+        output = "artifacts/bench_smoke.json" if args.smoke else "BENCH_PR6.json"
     results = run_bench(
         output=output,
         bandwidth=args.bandwidth,
@@ -502,6 +582,69 @@ def build_parser():
     )
     fleet.set_defaults(func=_cmd_fleet)
 
+    network = sub.add_parser(
+        "network", help="city-scale multi-cell network simulation"
+    )
+    network.add_argument(
+        "--layout",
+        default="hex",
+        choices=("hex", "grid"),
+        help="cell layout: hexagonal cluster or rectangular grid",
+    )
+    network.add_argument(
+        "--rings", type=int, default=1, help="hex rings (1 = 7 cells)"
+    )
+    network.add_argument("--rows", type=int, default=2, help="grid rows")
+    network.add_argument("--cols", type=int, default=2, help="grid columns")
+    network.add_argument(
+        "--isd", type=float, default=150.0, help="inter-site distance (ft)"
+    )
+    network.add_argument(
+        "--tags", "-n", type=int, default=8, help="tags scattered over the map"
+    )
+    network.add_argument(
+        "--scheme",
+        default="tdma",
+        choices=("tdma", "aloha", "priority"),
+        help="per-cell MAC scheme",
+    )
+    network.add_argument(
+        "--frames", type=int, default=2, help="LTE frames per cell capture"
+    )
+    network.add_argument(
+        "--attach",
+        default="analytic",
+        choices=("analytic", "search"),
+        help="attach pipeline: analytic SNR ranking, or IQ cell search "
+        "over the superposed neighbourhood",
+    )
+    network.add_argument("--payload", type=int, default=20_000)
+    network.add_argument("--seed", type=int, default=0)
+    network.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the (cell, cohort) stages (results are "
+        "bit-identical for any value)",
+    )
+    network.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: 7-cell hex, 1 frame, <= 4 tags",
+    )
+    network.add_argument(
+        "--output",
+        default=None,
+        help="summary JSON path (default NETWORK_PR6.json, or "
+        "artifacts/network_smoke.json in smoke mode)",
+    )
+    network.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite --output if it already exists",
+    )
+    network.set_defaults(func=_cmd_network)
+
     chaos = sub.add_parser(
         "chaos", help="fault-injection sweeps and degradation curves"
     )
@@ -540,7 +683,7 @@ def build_parser():
     bench.add_argument(
         "--output",
         default=None,
-        help="baseline JSON path (default BENCH_PR2.json, or "
+        help="baseline JSON path (default BENCH_PR6.json, or "
         "artifacts/bench_smoke.json in smoke mode)",
     )
     bench.add_argument(

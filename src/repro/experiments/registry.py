@@ -29,6 +29,7 @@ _EXPERIMENTS = {
     "fig33": ("repro.experiments.fig33_auth", "Continuous-auth update rate"),
     "power": ("repro.experiments.power_table", "Tag power consumption (§4.8)"),
     "fleetn": ("repro.experiments.fleet_scaling", "Network throughput vs. tag count"),
+    "netgrid": ("repro.experiments.netgrid", "Multi-cell goodput vs ISD / interferers"),
 }
 
 REGISTRY = dict(_EXPERIMENTS)

@@ -51,6 +51,10 @@ class AmbientKey:
     cell: object  # CellConfig is a frozen (hashable) dataclass
     n_frames: int
     seed: int
+    #: Physical cell identity, keyed explicitly so two cells of a
+    #: multi-cell topology can never collide on one cache slot even if a
+    #: future ``CellConfig`` stops hashing its identity fields.
+    cell_id: int = 0
 
 
 @dataclass
@@ -129,6 +133,9 @@ class AmbientCache:
         self._scratch_dir = scratch_dir
         #: How many times ``LteTransmitter.transmit`` actually ran.
         self.transmit_calls = 0
+        #: How many times an entry was looked up (hit or miss); the cache
+        #: hit ratio is ``(requests - transmit_calls) / requests``.
+        self.requests = 0
         #: Scratch files found missing/corrupt and regenerated.
         self.integrity_failures = 0
 
@@ -137,11 +144,13 @@ class AmbientCache:
 
     @staticmethod
     def key_for(config, seed):
+        cell = config.cell
         return AmbientKey(
             bandwidth_mhz=float(config.bandwidth_mhz),
-            cell=config.cell,
+            cell=cell,
             n_frames=int(config.n_frames),
             seed=int(seed),
+            cell_id=int(3 * getattr(cell, "n_id_1", 0) + getattr(cell, "n_id_2", 0)),
         )
 
     def get(self, config, seed):
@@ -156,6 +165,7 @@ class AmbientCache:
 
     def _entry(self, config, seed):
         key = self.key_for(config, seed)
+        self.requests += 1
         entry = self._entries.get(key)
         if entry is None:
             stage = LScatterSystem(config).prepare_ambient(rng=key.seed)

@@ -30,10 +30,23 @@ class TagPlacement:
     weight: int = 1
 
     def __post_init__(self):
-        if self.enb_to_tag_ft <= 0 or self.tag_to_ue_ft <= 0:
-            raise ValueError("tag hop distances must be positive")
+        if self.enb_to_tag_ft <= 0:
+            raise ValueError(
+                f"tag {self.name!r}: enb_to_tag_ft must be positive, got "
+                f"{self.enb_to_tag_ft}; distances are hop lengths in feet, "
+                "not coordinates"
+            )
+        if self.tag_to_ue_ft <= 0:
+            raise ValueError(
+                f"tag {self.name!r}: tag_to_ue_ft must be positive, got "
+                f"{self.tag_to_ue_ft}; distances are hop lengths in feet, "
+                "not coordinates"
+            )
         if self.weight <= 0:
-            raise ValueError("scheduling weight must be positive")
+            raise ValueError(
+                f"tag {self.name!r}: scheduling weight must be positive, "
+                f"got {self.weight}"
+            )
 
 
 @dataclass
@@ -50,11 +63,26 @@ class Deployment:
     sync_mode: str = "model"
 
     def __post_init__(self):
-        names = [tag.name for tag in self.tags]
-        if len(set(names)) != len(names):
-            raise ValueError("tag names must be unique")
         if not self.tags:
             raise ValueError("a deployment needs at least one tag")
+        names = [tag.name for tag in self.tags]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                f"tag names must be unique; duplicated: {dupes}"
+            )
+        positions = {}
+        for tag in self.tags:
+            pos = (tag.enb_to_tag_ft, tag.tag_to_ue_ft, tag.ue)
+            if pos in positions:
+                raise ValueError(
+                    f"tags {positions[pos]!r} and {tag.name!r} occupy the "
+                    f"same position (enb_to_tag_ft={tag.enb_to_tag_ft}, "
+                    f"tag_to_ue_ft={tag.tag_to_ue_ft}, ue={tag.ue}); two "
+                    "tags cannot share one antenna position — offset one "
+                    "of them"
+                )
+            positions[pos] = tag.name
 
     # -- constructors -----------------------------------------------------------
 

@@ -24,6 +24,23 @@ from repro.lte.sss import SSS_SYMBOL_IN_SLOT, detect_sss
 from repro.lte.resource_grid import ResourceGrid
 
 
+#: Relative metric slack within which two PSS roots count as tied and the
+#: lower root (lower cell ID) wins.  Distinct roots' cross-correlation sits
+#: orders of magnitude above float noise, so the tolerance only engages for
+#: genuinely indistinguishable candidates — e.g. two equal-power cells in a
+#: superposed multi-cell capture.
+PSS_TIE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class PssCandidate:
+    """One PSS root's best correlation peak over a capture."""
+
+    n_id_2: int
+    offset: int
+    metric: float
+
+
 @dataclass(frozen=True)
 class CellSearchResult:
     """Outcome of a cell search over a capture."""
@@ -71,13 +88,58 @@ def _extract_centre_bins(samples, params, useful_start):
     return np.concatenate([bins[low], bins[high]])
 
 
+def pss_candidates(samples, params):
+    """Best correlation peak per PSS root, in deterministic rank order.
+
+    Candidates are sorted strongest-first; roots whose metrics fall within
+    :data:`PSS_TIE_TOLERANCE` (relative to the strongest) are ordered by
+    root index — i.e. by ``(metric, cell ID)`` — so a superposed capture
+    with two near-equal cells always ranks the same way regardless of
+    floating-point residue.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if not isinstance(params, LteParams):
+        params = LteParams.from_bandwidth(params)
+    sss_to_pss = params.fft_size + params.cp_other
+    candidates = []
+    for n_id_2 in (0, 1, 2):
+        metric = correlate_pss(samples, params, n_id_2)
+        # The SSS symbol must exist before the PSS.
+        metric[:sss_to_pss] = 0.0
+        peak = int(np.argmax(metric))
+        candidates.append(
+            PssCandidate(n_id_2=n_id_2, offset=peak, metric=float(metric[peak]))
+        )
+    return rank_candidates(candidates)
+
+
+def rank_candidates(candidates, tolerance=PSS_TIE_TOLERANCE):
+    """Order candidates by (metric, identity) with a tie tolerance.
+
+    Metrics are quantised to ``tolerance`` (relative to the strongest
+    candidate) before sorting, so two roots separated only by float noise
+    compare equal and the lower ``n_id_2`` — the lower cell ID — wins
+    deterministically.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return []
+    scale = max(max(abs(c.metric) for c in candidates), 1.0)
+    quantum = max(tolerance * scale, 1e-300)
+    return sorted(
+        candidates,
+        key=lambda c: (-round(c.metric / quantum), c.n_id_2),
+    )
+
+
 def cell_search(samples, params):
     """Full cell search; returns the best :class:`CellSearchResult`.
 
-    Finds the strongest PSS across the three roots, estimates the channel
-    on the PSS, coherently detects the SSS one symbol earlier, and derives
-    the frame start (the PSS sits in slot 0 or slot 10 depending on which
-    subframe the SSS indicates).
+    Finds the strongest PSS across the three roots (deterministic
+    ``(metric, cell ID)`` ordering, see :func:`pss_candidates`), estimates
+    the channel on the PSS, coherently detects the SSS one symbol earlier,
+    and derives the frame start (the PSS sits in slot 0 or slot 10
+    depending on which subframe the SSS indicates).
     """
     samples = np.asarray(samples, dtype=complex)
     if not isinstance(params, LteParams):
@@ -85,15 +147,8 @@ def cell_search(samples, params):
 
     sss_to_pss = params.fft_size + params.cp_other
 
-    best = None
-    for n_id_2 in (0, 1, 2):
-        metric = correlate_pss(samples, params, n_id_2)
-        # The SSS symbol must exist before the PSS.
-        metric[:sss_to_pss] = 0.0
-        peak = int(np.argmax(metric))
-        if best is None or metric[peak] > best[2]:
-            best = (n_id_2, peak, float(metric[peak]))
-    n_id_2, pss_start, pss_metric = best
+    best = pss_candidates(samples, params)[0]
+    n_id_2, pss_start, pss_metric = best.n_id_2, best.offset, best.metric
 
     # Channel estimate on the 62 PSS subcarriers.
     y_pss = _extract_centre_bins(samples, params, pss_start)

@@ -1,0 +1,85 @@
+"""Handover model: thresholds, hysteresis, re-sync accounting."""
+
+import pytest
+
+from repro.cells import HandoverPolicy, Topology, simulate_handover
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology.hex_cluster(inter_site_ft=120.0, rings=1, n_frames=1)
+
+
+def test_policy_validation_messages():
+    with pytest.raises(ValueError, match="hysteresis_db"):
+        HandoverPolicy(hysteresis_db=-1.0)
+    with pytest.raises(ValueError, match="resync_half_frames"):
+        HandoverPolicy(resync_half_frames=-1)
+
+
+def test_static_route_never_searches(topo):
+    waypoints = [(5.0, 0.0)] * 4
+    trace = simulate_handover(
+        topo, "t", waypoints, HandoverPolicy(search_snr_db=-100.0)
+    )
+    assert trace.n_searches == 0
+    assert trace.n_handovers == 0
+    assert set(trace.serving_cells) == {0}
+
+
+def test_crossing_the_cluster_hands_over(topo):
+    # Cell 1 sits at (120, 0), cell 4 at (-120, 0): walk across.
+    waypoints = [(120.0 - 24.0 * i, 0.5) for i in range(11)]
+    policy = HandoverPolicy(search_snr_db=80.0, hysteresis_db=1.0)
+    trace = simulate_handover(topo, "bus", waypoints, policy)
+    assert trace.serving_cells[0] == 1
+    assert trace.serving_cells[-1] == 4
+    assert trace.n_handovers >= 2  # 1 -> 0 -> 4 at least
+    assert trace.resync_half_frames == (
+        trace.n_handovers * policy.resync_half_frames
+    )
+    for event in trace.events:
+        if event.switched:
+            assert event.best_snr_db - event.serving_snr_db >= policy.hysteresis_db
+
+
+def test_hysteresis_blocks_marginal_switches(topo):
+    # Just past the midpoint between cells 0 and 1 the margin is tiny:
+    # a huge hysteresis must pin the tag to its original cell.
+    waypoints = [(55.0, 0.0), (65.0, 0.0)]
+    sticky = simulate_handover(
+        topo, "t", waypoints,
+        HandoverPolicy(search_snr_db=1000.0, hysteresis_db=50.0),
+    )
+    assert sticky.n_searches == 1
+    assert sticky.n_handovers == 0
+    eager = simulate_handover(
+        topo, "t", waypoints,
+        HandoverPolicy(search_snr_db=1000.0, hysteresis_db=0.0),
+    )
+    assert eager.n_handovers == 1
+
+
+def test_resync_fraction_caps_at_one_and_validates(topo):
+    waypoints = [(120.0 - 24.0 * i, 0.5) for i in range(11)]
+    trace = simulate_handover(
+        topo, "t", waypoints, HandoverPolicy(search_snr_db=80.0,
+                                             resync_half_frames=100)
+    )
+    assert trace.resync_fraction(4) == 1.0
+    with pytest.raises(ValueError, match="positive"):
+        trace.resync_fraction(0)
+
+
+def test_empty_route_rejected(topo):
+    with pytest.raises(ValueError, match="waypoint"):
+        simulate_handover(topo, "t", [])
+
+
+def test_trace_is_deterministic(topo):
+    waypoints = [(120.0 - 24.0 * i, 0.5) for i in range(11)]
+    policy = HandoverPolicy(search_snr_db=80.0)
+    first = simulate_handover(topo, "t", waypoints, policy)
+    second = simulate_handover(topo, "t", waypoints, policy)
+    assert first.serving_cells == second.serving_cells
+    assert first.events == second.events

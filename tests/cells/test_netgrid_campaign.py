@@ -1,0 +1,70 @@
+"""netgrid experiment: campaign protocol, sharded equality, monotone gate."""
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.experiments import netgrid
+from repro.experiments.registry import run_experiment
+
+
+def test_campaign_points_cover_both_sweeps():
+    points = netgrid.campaign_points(smoke=True)
+    sweeps = {p["sweep"] for p in points}
+    assert sweeps == {"isd", "interferers"}
+    # Smoke is a strict subset of the full grid.
+    assert len(points) < len(netgrid.campaign_points())
+
+
+def test_sharded_netgrid_is_bit_identical_to_monolithic(tmp_path):
+    """Acceptance: `repro campaign netgrid --shards 4` == unsharded run."""
+    spec = CampaignSpec(experiment="netgrid", seed=0, smoke=True)
+    report = CampaignRunner(spec, tmp_path, n_shards=4).run()
+    mono = run_experiment("netgrid", seed=0, smoke=True)
+    assert report.result is not None
+    assert report.result.rows == mono.rows  # exact float equality
+    assert report.result.name == mono.name
+    assert report.checkpointed == report.total_shards
+
+
+def test_interference_rows_degrade_monotonically():
+    rows = [
+        netgrid.run_point({"sweep": "interferers", "n_interferers": k}, seed=0)
+        for k in (0, 1, 2)
+    ]
+    ordered = sorted(rows, key=lambda r: r["n_interferers"])
+    for prev, nxt in zip(ordered, ordered[1:]):
+        assert nxt["goodput_kbps"] <= prev["goodput_kbps"] * (1 + 1e-9)
+        assert nxt["mean_ber"] >= prev["mean_ber"] * (1 - 1e-9)
+
+
+def test_monotone_gate_trips_on_rising_goodput():
+    rows = [
+        {"sweep": "interferers", "n_interferers": 0,
+         "goodput_kbps": 100.0, "mean_ber": 0.01, "n_cells": 1},
+        {"sweep": "interferers", "n_interferers": 1,
+         "goodput_kbps": 150.0, "mean_ber": 0.01, "n_cells": 2},
+    ]
+    with pytest.raises(netgrid.MonotoneGateError, match="goodput rose"):
+        netgrid.aggregate(rows)
+
+
+def test_monotone_gate_trips_on_falling_ber():
+    rows = [
+        {"sweep": "interferers", "n_interferers": 0,
+         "goodput_kbps": 100.0, "mean_ber": 0.02, "n_cells": 1},
+        {"sweep": "interferers", "n_interferers": 1,
+         "goodput_kbps": 100.0, "mean_ber": 0.001, "n_cells": 2},
+    ]
+    with pytest.raises(netgrid.MonotoneGateError, match="BER fell"):
+        netgrid.aggregate(rows)
+
+
+def test_gate_tolerates_float_noise():
+    rows = [
+        {"sweep": "interferers", "n_interferers": 0,
+         "goodput_kbps": 100.0, "mean_ber": 0.01, "n_cells": 1},
+        {"sweep": "interferers", "n_interferers": 1,
+         "goodput_kbps": 100.0 + 1e-8, "mean_ber": 0.01 - 1e-12, "n_cells": 2},
+    ]
+    result = netgrid.aggregate(rows)
+    assert len(result.rows) == 2

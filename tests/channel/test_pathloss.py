@@ -55,6 +55,37 @@ def test_minimum_distance_clamped():
     assert model.loss_db(0.0, 1e9) == model.loss_db(0.1, 1e9)
 
 
+def test_zero_distance_is_finite_everywhere():
+    """d = 0 (tag at the cell site) must never produce -inf or NaN."""
+    assert np.isfinite(free_space_path_loss_db(0.0, 680e6))
+    assert free_space_path_loss_db(0.0, 680e6) == free_space_path_loss_db(
+        0.1, 680e6
+    )
+    for model in VENUE_PRESETS.values():
+        loss = model.loss_db(0.0, 680e6)
+        assert np.isfinite(loss)
+        assert loss == model.loss_db(0.05, 680e6)  # below-clamp is flat
+        assert np.isfinite(model.loss_db_feet(0.0, 680e6))
+
+
+def test_near_zero_distance_monotone_above_clamp():
+    model = PathLossModel(exponent=2.6)
+    # Below the 0.1 m clamp everything collapses to the clamp value ...
+    assert model.loss_db(1e-9, 1e9) == model.loss_db(0.1, 1e9)
+    # ... and immediately above it the loss grows monotonically again.
+    assert model.loss_db(0.11, 1e9) > model.loss_db(0.1, 1e9)
+    assert model.loss_db(0.2, 1e9) > model.loss_db(0.11, 1e9)
+
+
+def test_zero_distance_vectorised_matches_scalar():
+    model = PathLossModel(exponent=2.0)
+    losses = model.loss_db(np.array([0.0, 0.05, 0.1, 1.0]), 1e9)
+    assert losses.shape == (4,)
+    assert np.all(np.isfinite(losses))
+    assert losses[0] == losses[1] == losses[2] == model.loss_db(0.0, 1e9)
+    assert losses[3] > losses[2]
+
+
 def test_feet_wrapper():
     model = PathLossModel(exponent=2.0)
     assert model.loss_db_feet(10.0, 1e9) == pytest.approx(

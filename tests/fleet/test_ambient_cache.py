@@ -69,6 +69,52 @@ def test_handle_is_picklable(tmp_path):
     cache.clear()
 
 
+# -- cell identity in the key -----------------------------------------------------
+
+
+def test_cache_keys_disjoint_on_cell_identity():
+    """Two cells differing only in identity must never share a slot."""
+    from repro.lte import CellConfig
+
+    cache = AmbientCache()
+    cell_a = cache.get(_config(cell=CellConfig(n_id_1=1, n_id_2=0)), seed=0)
+    cell_b = cache.get(_config(cell=CellConfig(n_id_1=1, n_id_2=1)), seed=0)
+    assert cache.transmit_calls == 2
+    assert len(cache) == 2
+    assert cell_a is not cell_b
+    # Same identity twice is still one entry.
+    cache.get(_config(cell=CellConfig(n_id_1=1, n_id_2=0)), seed=0)
+    assert cache.transmit_calls == 2
+
+
+def test_key_for_encodes_physical_cell_id():
+    from repro.lte import CellConfig
+
+    key = AmbientCache.key_for(
+        _config(cell=CellConfig(n_id_1=11, n_id_2=2)), seed=5
+    )
+    assert key.cell_id == 3 * 11 + 2
+    assert key.seed == 5
+    other = AmbientCache.key_for(
+        _config(cell=CellConfig(n_id_1=11, n_id_2=1)), seed=5
+    )
+    assert key != other
+
+
+def test_requests_counter_tracks_hits_and_misses():
+    cache = AmbientCache()
+    assert cache.requests == 0
+    cache.get(_config(), seed=0)
+    cache.get(_config(), seed=0)
+    cache.get(_config(), seed=1)
+    assert cache.requests == 3
+    assert cache.transmit_calls == 2
+    # The bench's hit ratio: (requests - transmits) / requests.
+    assert (cache.requests - cache.transmit_calls) / cache.requests == pytest.approx(
+        1 / 3
+    )
+
+
 # -- integrity --------------------------------------------------------------------
 
 

@@ -55,3 +55,46 @@ def test_invalid_deployments_rejected():
         TagPlacement("bad", -1.0, 1.0)
     with pytest.raises(ValueError):
         TagPlacement("bad", 1.0, 1.0, weight=0)
+
+
+def test_placement_errors_name_the_tag_and_field():
+    with pytest.raises(ValueError, match=r"tag 'kitchen': enb_to_tag_ft"):
+        TagPlacement("kitchen", -3.0, 1.0)
+    with pytest.raises(ValueError, match="hop lengths in feet, not coordinates"):
+        TagPlacement("kitchen", 0.0, 1.0)
+    with pytest.raises(ValueError, match=r"tag 'door': tag_to_ue_ft"):
+        TagPlacement("door", 1.0, -1.0)
+    with pytest.raises(
+        ValueError, match=r"tag 'w': scheduling weight must be positive"
+    ):
+        TagPlacement("w", 1.0, 1.0, weight=-2)
+
+
+def test_duplicate_name_error_lists_offenders():
+    with pytest.raises(ValueError, match=r"must be unique; duplicated: \['dup'\]"):
+        Deployment(
+            tags=[
+                TagPlacement("dup", 1.0, 1.0),
+                TagPlacement("dup", 2.0, 2.0),
+            ]
+        )
+
+
+def test_duplicate_position_error_names_both_tags():
+    with pytest.raises(
+        ValueError, match=r"'a' and 'b' occupy the same position"
+    ):
+        Deployment(
+            tags=[
+                TagPlacement("a", 10.0, 5.0),
+                TagPlacement("b", 10.0, 5.0),
+            ]
+        )
+    # Same eNodeB distance but different UE hop is a distinct position.
+    ok = Deployment(
+        tags=[
+            TagPlacement("a", 10.0, 5.0),
+            TagPlacement("b", 10.0, 6.0),
+        ]
+    )
+    assert ok.names == ["a", "b"]

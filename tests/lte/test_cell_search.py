@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.lte import CellConfig, LteTransmitter, cell_search
-from repro.lte.cell_search import correlate_pss
+from repro.lte.cell_search import (
+    PssCandidate,
+    correlate_pss,
+    pss_candidates,
+    rank_candidates,
+)
 from repro.utils.dsp import awgn
 from repro.utils.rng import make_rng
 
@@ -69,3 +74,60 @@ def test_all_three_roots_detectable():
         cap = LteTransmitter(1.4, cell=CellConfig(n_id_2=nid2), rng=nid2).transmit(1)
         result = cell_search(cap.samples, cap.params)
         assert result.n_id_2 == nid2
+
+
+# -- deterministic candidate ordering ---------------------------------------------
+
+
+def test_rank_candidates_tie_goes_to_lower_root():
+    # Metrics separated only by float residue count as tied: root index
+    # (i.e. cell ID) breaks the tie, so root 0 wins despite the epsilon.
+    tied = [
+        PssCandidate(n_id_2=2, offset=100, metric=1.0),
+        PssCandidate(n_id_2=0, offset=200, metric=1.0 - 1e-12),
+        PssCandidate(n_id_2=1, offset=300, metric=1.0 + 1e-13),
+    ]
+    ranked = rank_candidates(tied)
+    assert [c.n_id_2 for c in ranked] == [0, 1, 2]
+
+
+def test_rank_candidates_real_margin_beats_identity():
+    candidates = [
+        PssCandidate(n_id_2=0, offset=0, metric=0.4),
+        PssCandidate(n_id_2=2, offset=0, metric=0.9),
+    ]
+    ranked = rank_candidates(candidates)
+    assert [c.n_id_2 for c in ranked] == [2, 0]
+    # A margin just above the tolerance is also decisive.
+    close = [
+        PssCandidate(n_id_2=0, offset=0, metric=1.0),
+        PssCandidate(n_id_2=2, offset=0, metric=1.0 + 1e-6),
+    ]
+    assert rank_candidates(close)[0].n_id_2 == 2
+
+
+def test_rank_candidates_empty_and_custom_tolerance():
+    assert rank_candidates([]) == []
+    pair = [
+        PssCandidate(n_id_2=1, offset=0, metric=1.0),
+        PssCandidate(n_id_2=0, offset=0, metric=0.999),
+    ]
+    # Default tolerance: the 1e-3 gap is decisive.
+    assert rank_candidates(pair)[0].n_id_2 == 1
+    # A coarse tolerance collapses it into a tie; lower root wins.
+    assert rank_candidates(pair, tolerance=1e-2)[0].n_id_2 == 0
+
+
+def test_superposed_near_equal_cells_search_deterministically():
+    """Regression: two equal-power cells in one capture must always rank
+    the same way, and cell_search must return pss_candidates()[0]."""
+    cap_a = LteTransmitter(1.4, cell=CellConfig(n_id_1=7, n_id_2=1), rng=3).transmit(1)
+    cap_b = LteTransmitter(1.4, cell=CellConfig(n_id_1=7, n_id_2=2), rng=4).transmit(1)
+    mixture = cap_a.samples + cap_b.samples
+    first = pss_candidates(mixture, cap_a.params)
+    again = pss_candidates(mixture, cap_a.params)
+    assert first == again
+    assert [c.n_id_2 for c in first] == [c.n_id_2 for c in again]
+    result = cell_search(mixture, cap_a.params)
+    assert result.n_id_2 == first[0].n_id_2
+    assert result.n_id_2 in (1, 2)  # one of the transmitted roots wins

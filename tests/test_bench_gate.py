@@ -7,6 +7,7 @@ BASE = {
     "cfo": {"speedup": 1.8},
     "sequence_cache": {"speedup": 1000.0},
     "trace_overhead": {"overhead_fraction": 0.001},
+    "network": {"cache_hit_ratio": 0.5},
 }
 
 
@@ -81,6 +82,18 @@ def test_missing_metric_is_reported_not_gated():
     missing = [m for m in report["metrics"] if m["status"] == "missing"]
     assert [m["metric"] for m in missing] == ["sequence_cache.speedup"]
     assert "missing (not gated)" in format_check(report)
+
+
+def test_network_hit_ratio_gated():
+    # The multi-cell ambient cache falling from 50% to 10% hits means
+    # captures are being regenerated per tag again.
+    report = compare_to_baseline(
+        _with("network.cache_hit_ratio", 0.1), BASE, tolerance=0.25
+    )
+    assert report["regressions"] == ["network.cache_hit_ratio"]
+    assert compare_to_baseline(
+        _with("network.cache_hit_ratio", 0.45), BASE, tolerance=0.25
+    )["passed"]
 
 
 def test_format_check_flags_regressions():

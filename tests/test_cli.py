@@ -340,3 +340,82 @@ def test_console_scripts_declared_and_importable():
     module_name, _, attr = scripts["repro"].partition(":")
     entry = getattr(importlib.import_module(module_name), attr)
     assert callable(entry)
+
+
+# -- network ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        (["network", "--tags", "0"], "--tags must be >= 1"),
+        (["network", "--workers", "0"], "--workers must be >= 1"),
+        (["network", "--frames", "0"], "--frames must be >= 1"),
+        (["network", "--isd", "-5"], "--isd must be positive"),
+        (["network", "--rings", "-1"], "--rings must be >= 0"),
+        (
+            ["network", "--layout", "grid", "--rows", "0"],
+            "--rows/--cols must be >= 1",
+        ),
+    ],
+)
+def test_network_argument_validation(capsys, argv, fragment):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert err.startswith("repro: error:")
+    assert err.count("\n") == 1
+
+
+def test_network_rejects_unknown_layout_and_attach():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["network", "--layout", "ring"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["network", "--attach", "psychic"])
+
+
+def test_network_smoke_writes_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "network.json"
+    code = main(
+        [
+            "network",
+            "--smoke",
+            "--tags",
+            "3",
+            "--isd",
+            "120",
+            "--output",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "NetworkReport: 7 cell(s)" in out
+    assert f"wrote {out_path}" in out
+    summary = json.loads(out_path.read_text())
+    assert summary["n_cells"] == 7
+    assert summary["n_tags"] == 3
+    assert len(summary["attachments"]) == 3
+    # Only cells that actually serve a tag carry a per-cell report.
+    assert 1 <= len(summary["cells"]) <= 3
+
+
+def test_network_smoke_defaults_to_artifacts(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["network", "--smoke", "--tags", "2", "--isd", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote artifacts/network_smoke.json" in out
+    assert (tmp_path / "artifacts" / "network_smoke.json").exists()
+
+
+def test_network_refuses_to_overwrite_without_force(tmp_path, capsys):
+    out_path = tmp_path / "network.json"
+    out_path.write_text("{}")
+    assert main(
+        ["network", "--smoke", "--tags", "2", "--output", str(out_path)]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "already exists" in err
+    assert out_path.read_text() == "{}"  # untouched
