@@ -38,10 +38,10 @@ def _deployment():
 
 
 def test_shared_ambient_transmits_exactly_once(transmit_counter):
-    cache = AmbientCache()
-    report = FleetRunner(
-        _deployment(), scheme="tdma", workers=1, seed=0, cache=cache
-    ).run(payload_length=2000)
+    with AmbientCache() as cache:
+        report = FleetRunner(
+            _deployment(), scheme="tdma", workers=1, seed=0, cache=cache
+        ).run(payload_length=2000)
     assert transmit_counter["n"] == 1
     assert report.transmit_invocations == 1
     assert report.n_tags == N_TAGS
@@ -50,10 +50,10 @@ def test_shared_ambient_transmits_exactly_once(transmit_counter):
 def test_shared_ambient_beats_naive_loop_by_3x(transmit_counter):
     deployment = _deployment()
 
-    cache = AmbientCache()
-    FleetRunner(deployment, scheme="tdma", workers=1, seed=0, cache=cache).run(
-        payload_length=2000
-    )
+    with AmbientCache() as cache:
+        FleetRunner(
+            deployment, scheme="tdma", workers=1, seed=0, cache=cache
+        ).run(payload_length=2000)
     fleet_calls = transmit_counter["n"]
 
     transmit_counter["n"] = 0
@@ -72,13 +72,13 @@ def test_shared_ambient_beats_naive_loop_by_3x(transmit_counter):
 def test_fleet_wall_clock_benefits_from_cache(benchmark, transmit_counter):
     """Benchmark the fleet path; the shared capture keeps the per-round
     transmit count at one no matter how many rounds the timer runs."""
-    cache = AmbientCache()
+    with AmbientCache() as cache:
 
-    def one_round():
-        return FleetRunner(
-            _deployment(), scheme="tdma", workers=1, seed=0, cache=cache
-        ).run(payload_length=2000)
+        def one_round():
+            return FleetRunner(
+                _deployment(), scheme="tdma", workers=1, seed=0, cache=cache
+            ).run(payload_length=2000)
 
-    report = benchmark.pedantic(one_round, rounds=1, iterations=1)
+        report = benchmark.pedantic(one_round, rounds=1, iterations=1)
     assert transmit_counter["n"] == 1
     assert report.aggregate_throughput_bps > 0

@@ -4,7 +4,7 @@ Times the vectorised frame-level DSP against the pinned pre-vectorisation
 loops (:func:`repro.lte.ofdm.modulate_frame_loop` and friends), the
 sequence cache cold/warm behaviour, and the end-to-end
 :class:`~repro.core.system.LScatterSystem` run, then writes the numbers to
-a JSON file (``BENCH_PR6.json`` by default) so every future change has a
+a JSON file (``BENCH_PR7.json`` by default) so every future change has a
 perf baseline to diff against.
 
 Timing methodology: the candidates are measured *interleaved* (one
@@ -49,6 +49,13 @@ GATE_METRICS = (
     # per-cell capture cache (missing in pre-PR6 baselines — reported,
     # not gated, against those).
     ("network.cache_hit_ratio", "higher", False),
+    # PR7: one batched cross-tag demod pass must beat the per-tag loop,
+    # and the chunked streaming receiver must hold a smaller peak demod
+    # working set than the whole-capture call.  Both sections run the
+    # same workload in smoke and full mode, so the CI smoke run compares
+    # directly against the committed full-mode baseline.
+    ("bsrx_batch.speedup", "higher", False),
+    ("streaming.memory_ratio", "higher", False),
 )
 
 #: Absolute slack for lower-is-better metrics whose baseline sits near 0
@@ -57,22 +64,27 @@ GATE_METRICS = (
 LOWER_METRIC_ABSOLUTE_SLACK = 0.005
 
 
-def _interleaved_min(candidates, repeats, inner=3):
-    """Min per-call CPU seconds for each thunk, measured round-robin.
+def _interleaved_min(candidates, repeats, inner=3, timer=time.process_time):
+    """Min per-call seconds for each thunk, measured round-robin.
 
     Each round gives every candidate ``inner`` consecutive calls and keeps
     the fastest: the first call after switching candidates re-warms the
     caches the other one evicted, so the steady-state (hot-path) cost is
     what gets recorded, while the round-robin outer loop still exposes all
     candidates to the same noise spells.
+
+    ``timer`` defaults to per-process CPU time; candidates that fan work
+    across threads (``scipy.fft`` workers) must pass
+    ``time.perf_counter`` — process_time books multi-core fan-out as
+    *more* CPU, inverting the comparison.
     """
     best = {name: float("inf") for name, _ in candidates}
     for _ in range(repeats):
         for name, thunk in candidates:
             for _ in range(inner):
-                t0 = time.process_time()
+                t0 = timer()
                 thunk()
-                best[name] = min(best[name], time.process_time() - t0)
+                best[name] = min(best[name], timer() - t0)
     return best
 
 
@@ -266,6 +278,181 @@ def _bench_network(smoke):
     }
 
 
+def _bench_bsrx_batch(smoke):
+    """Batched cross-tag demod vs the per-tag loop on identical captures.
+
+    Six tags ride one shared 1.4 MHz, 2-frame ambient (each with its own
+    seed, so sync errors, channels, and noise differ per tag); the
+    per-tag candidate demodulates them one at a time, the batched
+    candidate stacks all six into one
+    :meth:`~repro.bsrx.demodulator.BackscatterDemodulator.demodulate_many`
+    pass.  The results are asserted bit-identical before any timing.
+
+    The workload is the same in smoke and full mode, so the CI smoke run
+    is directly comparable to the committed full-mode baseline.  Timing
+    is wall-clock: the batched pass fans FFT rows across cores
+    (``scipy.fft`` workers), which ``process_time`` would book as *more*
+    CPU rather than less time.
+    """
+    from repro.core import LScatterSystem, SystemConfig
+    from repro.fleet.ambient import AmbientCache
+
+    n_tags = 6
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=2,
+        reference_mode="genie",
+        sync_mode="model",
+    )
+    with AmbientCache() as cache:
+        ambient = cache.get(config, 0)
+        systems = [LScatterSystem(config, rng=100 + t) for t in range(n_tags)]
+        fronts = [
+            system.run_frontend(payload_length=2000, ambient=ambient)
+            for system in systems
+        ]
+    shifted = np.stack([front.shifted_rx for front in fronts])
+    references = np.stack([front.reference for front in fronts])
+    half_starts = fronts[0].half_starts
+    demod = systems[0].demodulator
+
+    def per_tag():
+        return [
+            demod.demodulate(shifted[t], references[t], half_starts)
+            for t in range(n_tags)
+        ]
+
+    def batched():
+        return demod.demodulate_many(shifted, references, half_starts)
+
+    equal = all(
+        np.array_equal(s.bits, b.bits)
+        and np.array_equal(s.soft, b.soft)
+        and np.array_equal(s.starts, b.starts)
+        for s, b in zip(per_tag(), batched())
+    )
+    assert equal, "batched cross-tag demod diverged from the per-tag loop"
+    times = _interleaved_min(
+        [("per_tag", per_tag), ("batched", batched)],
+        repeats=3,
+        inner=1,
+        timer=time.perf_counter,
+    )
+    return {
+        "config": f"{n_tags} tags, 1.4 MHz, 2 frames, genie reference",
+        "wall_seconds": times,
+        "equal_results": bool(equal),
+        "speedup": times["per_tag"] / times["batched"],
+        "tags_per_second": n_tags / max(times["batched"], 1e-12),
+    }
+
+
+def _bench_streaming(smoke):
+    """Peak demod working set: whole-capture vs the streaming receiver.
+
+    One 1.4 MHz, 6-frame capture (shifted band + reference) is spilled to
+    scratch files and re-opened as read-only memory maps — the long-
+    recording scenario where the samples live on disk, not in the
+    process.  The whole-capture candidate materialises both full arrays
+    and demodulates in one call; the streaming candidate pushes
+    2-half-frame chunks through :class:`~repro.bsrx.streaming.
+    StreamingDemodulator` and never holds more than a chunk plus the
+    unfinished tail.  ``tracemalloc`` captures each candidate's peak
+    allocation; their ratio is the gated metric (higher = streaming wins
+    by more).  The results are asserted bit-identical.  ``peak_rss_mb``
+    is informational only — RSS is a non-decreasing high-water mark for
+    the whole process, so it cannot attribute memory to a candidate.
+
+    Same workload in smoke and full mode (the peaks are deterministic
+    allocation sizes, not timings), so the gate transfers across machines.
+    """
+    import resource
+    import tempfile
+    import tracemalloc
+
+    from repro.bsrx.streaming import StreamingDemodulator
+    from repro.core import LScatterSystem, SystemConfig
+
+    chunk_half_frames = 2
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=6,
+        reference_mode="genie",
+        sync_mode="model",
+    )
+    system = LScatterSystem(config, rng=7)
+    front = system.run_frontend(payload_length=20000)
+    half = config.params.samples_per_frame // 2
+    half_starts = front.half_starts
+    paths = []
+    mapped = {}
+    try:
+        for name, values in (
+            ("shifted", front.shifted_rx),
+            ("reference", front.reference),
+        ):
+            fd, path = tempfile.mkstemp(
+                prefix=f"lscatter-bench-{name}-", suffix=".iq"
+            )
+            with os.fdopen(fd, "wb") as fh:
+                np.ascontiguousarray(values, dtype=np.complex128).tofile(fh)
+            paths.append(path)
+            mapped[name] = np.memmap(path, dtype=np.complex128, mode="r")
+        del front
+        n = len(mapped["shifted"])
+        demod = system.demodulator
+
+        tracemalloc.start()
+        whole = demod.demodulate(
+            np.array(mapped["shifted"]),
+            np.array(mapped["reference"]),
+            half_starts,
+        )
+        _, whole_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        streamer = StreamingDemodulator(
+            config.params, chunk_half_frames=chunk_half_frames
+        )
+        step = chunk_half_frames * half
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            streamer.push(
+                np.array(mapped["shifted"][lo:hi]),
+                np.array(mapped["reference"][lo:hi]),
+            )
+        streamed = streamer.finish()
+        _, streamed_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    finally:
+        mapped.clear()
+        for path in paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    equal = (
+        np.array_equal(whole.bits, streamed.bits)
+        and np.array_equal(whole.soft, streamed.soft)
+        and np.array_equal(whole.starts, streamed.starts)
+    )
+    assert equal, "streamed demod diverged from the whole-capture call"
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "config": (
+            f"1.4 MHz, {config.n_frames} frames, genie reference, "
+            f"chunk={chunk_half_frames} half-frames, memmapped capture"
+        ),
+        "capture_samples": int(n),
+        "whole_peak_bytes": int(whole_peak),
+        "streamed_peak_bytes": int(streamed_peak),
+        "memory_ratio": whole_peak / max(streamed_peak, 1),
+        "equal_results": bool(equal),
+        "peak_rss_mb": rss_kb / 1024.0,
+    }
+
+
 def _bench_trace_overhead(params, repeats, rng):
     """Disabled-tracing overhead on the instrumented OFDM hot path.
 
@@ -307,7 +494,7 @@ def _bench_trace_overhead(params, repeats, rng):
     }
 
 
-def run_bench(output="BENCH_PR6.json", bandwidth=None, repeats=None, smoke=False):
+def run_bench(output="BENCH_PR7.json", bandwidth=None, repeats=None, smoke=False):
     """Run the full benchmark battery and write ``output``.
 
     ``smoke=True`` (the CI mode) uses a narrow carrier and few repeats —
@@ -341,6 +528,8 @@ def run_bench(output="BENCH_PR6.json", bandwidth=None, repeats=None, smoke=False
         "end_to_end": _bench_end_to_end(repeats, smoke),
         "fleet": _bench_fleet(smoke),
         "network": _bench_network(smoke),
+        "bsrx_batch": _bench_bsrx_batch(smoke),
+        "streaming": _bench_streaming(smoke),
         "cache_stats": cache_stats(),
     }
     if output:
@@ -390,10 +579,16 @@ def compare_to_baseline(current, baseline, tolerance=0.25):
             "baseline": base,
             "status": "ok",
         }
-        if cur is None or base is None:
-            # A metric missing from either side is reported, not gated —
-            # an old baseline must not hard-fail a newer bench (the
-            # re-baseline procedure in the README covers catching up).
+        if cur is None and base is not None:
+            # The baseline gates this metric but the new run never
+            # produced it: a dropped bench section (renamed key, early
+            # return, skipped stage) must fail the gate loudly by name,
+            # not pass silently by omission.
+            entry["status"] = "missing_current"
+        elif cur is None or base is None:
+            # Missing from the baseline is reported, not gated — an old
+            # baseline must not hard-fail a newer bench (the re-baseline
+            # procedure in the README covers catching up).
             entry["status"] = "missing"
         elif direction == "higher":
             if log_scale:
@@ -415,8 +610,14 @@ def compare_to_baseline(current, baseline, tolerance=0.25):
     return {
         "tolerance": tolerance,
         "metrics": metrics,
-        "regressions": [m["metric"] for m in metrics if m["status"] == "regressed"],
-        "passed": all(m["status"] != "regressed" for m in metrics),
+        "regressions": [
+            m["metric"]
+            for m in metrics
+            if m["status"] in ("regressed", "missing_current")
+        ],
+        "passed": all(
+            m["status"] not in ("regressed", "missing_current") for m in metrics
+        ),
     }
 
 
@@ -429,6 +630,12 @@ def format_check(report):
     for m in report["metrics"]:
         if m["status"] == "missing":
             lines.append(f"  {m['metric']:36s} missing (not gated)")
+            continue
+        if m["status"] == "missing_current":
+            lines.append(
+                f"  {m['metric']:36s} MISSING from current run "
+                f"(baseline {m['baseline']:12.4g})"
+            )
             continue
         flag = "REGRESSED" if m["status"] == "regressed" else "ok"
         lines.append(
@@ -477,5 +684,11 @@ def format_summary(results):
         f"ambient cache hit ratio "
         f"{results['network']['cache_hit_ratio']:.0%} "
         f"({results['network']['config']})",
+        f"bsrx batch       : {results['bsrx_batch']['speedup']:.2f}x vs per-tag, "
+        f"{results['bsrx_batch']['tags_per_second']:.1f} tags/s "
+        f"({results['bsrx_batch']['config']})",
+        f"streaming demod  : {results['streaming']['memory_ratio']:.1f}x smaller "
+        f"peak working set "
+        f"({results['streaming']['config']})",
     ]
     return "\n".join(lines)

@@ -28,6 +28,22 @@ The reconstruction reference ``x_n`` (the ambient LTE samples) comes from
 the UE's normal LTE decode of the direct path: the UE re-encodes the
 transport blocks it just decoded and re-synthesises the time-domain frame.
 The end-to-end system (:mod:`repro.core.system`) wires that in.
+
+Three entry points share one per-half-frame core:
+
+* :meth:`BackscatterDemodulator.demodulate` — one tag, whole capture;
+* :meth:`BackscatterDemodulator.demodulate_many` — every tag riding one
+  shared ambient capture at once, stacked along a leading tag axis so
+  the FFT/convolution work runs as batched transforms (bit-identical to
+  per-tag :meth:`~BackscatterDemodulator.demodulate`);
+* :class:`repro.bsrx.streaming.StreamingDemodulator` — chunked
+  consumption of arbitrarily long captures in bounded memory.
+
+A capture whose tail is shorter than a full half-frame (every streaming
+chunk boundary, and any externally truncated recording) is handled
+explicitly: packets whose sounding/preamble/data symbols run past the end
+emit erasure windows (placeholder bits the accounting layer excludes)
+instead of being silently dropped mid-grid.
 """
 
 from __future__ import annotations
@@ -36,9 +52,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bsrx.equalizer import equalize_symbol, estimate_channel_from_known
-from repro.bsrx.mod_offset import find_modulation_offset
-from repro.lte.ofdm import frame_layout
+from repro.bsrx.equalizer import (
+    equalize_symbol,
+    equalize_symbol_batch,
+    estimate_channel_from_known,
+    estimate_channel_from_known_batch,
+)
+from repro.bsrx.mod_offset import (
+    OffsetEstimate,
+    find_modulation_offset,
+    find_modulation_offset_batch,
+)
+from repro.lte.ofdm import frame_layout, row_fft, row_ifft
 from repro.lte.params import LteParams
 from repro.lte.pss import PSS_SYMBOL_IN_SLOT
 from repro.lte.resource_grid import symbol_index
@@ -84,6 +109,68 @@ class BsDemodResult:
         return int(sum(bool(flag) for flag in self.window_erased))
 
 
+class _DemodSink:
+    """Accumulates one capture's windows/packets across half-frame calls.
+
+    ``base`` is added to every emitted sample index — the streaming path
+    hands the core a chunk-local view and shifts results back to absolute
+    capture coordinates through it.
+    """
+
+    __slots__ = (
+        "base",
+        "all_bits",
+        "all_soft",
+        "starts",
+        "window_bits",
+        "window_erased",
+        "packets",
+        "truncated_windows",
+    )
+
+    def __init__(self):
+        self.base = 0
+        self.all_bits = []
+        self.all_soft = []
+        self.starts = []
+        self.window_bits = []
+        self.window_erased = []
+        self.packets = []
+        self.truncated_windows = 0
+
+    def add_window(self, bits, soft, start, erased, record):
+        absolute = self.base + int(start)
+        self.all_bits.append(bits)
+        self.all_soft.append(soft)
+        self.window_bits.append(bits)
+        self.window_erased.append(erased)
+        self.starts.append(absolute)
+        record.data_starts.append(absolute)
+
+    def result(self):
+        if self.all_bits:
+            bits = np.concatenate(self.all_bits)
+            soft = np.concatenate(self.all_soft)
+        else:
+            bits = np.zeros(0, dtype=np.int8)
+            soft = np.zeros(0)
+        obs_metrics.counter_inc("bsrx.packets", len(self.packets))
+        obs_metrics.counter_inc("bsrx.windows", len(self.window_bits))
+        n_erased = int(sum(bool(flag) for flag in self.window_erased))
+        if n_erased:
+            obs_metrics.counter_inc("bsrx.erasures", n_erased)
+        if self.truncated_windows:
+            obs_metrics.counter_inc("bsrx.truncated_windows", self.truncated_windows)
+        return BsDemodResult(
+            bits=bits,
+            soft=soft,
+            starts=np.asarray(self.starts, dtype=np.int64),
+            window_bits=self.window_bits,
+            window_erased=self.window_erased,
+            packets=self.packets,
+        )
+
+
 class BackscatterDemodulator:
     """Demodulate tag chips from a shifted-band capture."""
 
@@ -113,6 +200,12 @@ class BackscatterDemodulator:
         # useful-symbol offset per symbol per packet, which was an O(sym)
         # Python walk through LteParams.useful_start.
         self._useful_starts = frame_layout(self.params).useful_starts
+        #: Samples one half-frame's demodulation reaches past its start
+        #: (the end of slot 9's last useful symbol == the half-frame
+        #: stride, so consecutive half-frames tile the capture exactly).
+        self.half_frame_span = (
+            int(self._useful_starts[symbol_index(9, 6)]) + self.params.fft_size
+        )
 
     # -- window helpers ----------------------------------------------------------
 
@@ -124,6 +217,14 @@ class BackscatterDemodulator:
         """±1 chips over one useful symbol: preamble at ``offset``, idle +1."""
         chips = np.ones(self.params.fft_size)
         chips[offset : offset + self.n_chips] = self._preamble_signs
+        return chips
+
+    def _chip_waveform_batch(self, offsets):
+        """Per-tag ±1 chip waveforms: row ``t``'s preamble at ``offsets[t]``."""
+        offsets = np.asarray(offsets)
+        chips = np.ones((len(offsets), self.params.fft_size))
+        cols = offsets[:, None] + np.arange(self.n_chips)
+        chips[np.arange(len(offsets))[:, None], cols] = self._preamble_signs
         return chips
 
     def _cascade_channel(self, shifted, reference, half_start):
@@ -171,7 +272,152 @@ class BackscatterDemodulator:
         errors = self._preamble_error_count(soft)
         return estimate, errors
 
-    # -- main entry ----------------------------------------------------------------
+    # -- truncated-tail handling --------------------------------------------------
+
+    def _emit_erased_window(self, sink, record, window_start):
+        bits = np.zeros(self.n_chips, dtype=np.int8)
+        sink.add_window(bits, np.zeros(self.n_chips), window_start, True, record)
+
+    def _emit_truncated_packet(self, sink, slot_symbols, half_start, limit):
+        """Erase a packet whose sounding or preamble ran past the capture.
+
+        Only windows that start inside the capture are emitted (a window
+        entirely beyond the recording never existed as far as accounting
+        is concerned); each counts as an erasure, not a loss of sync.
+        """
+        slot = slot_symbols[0][0]
+        record = PacketRecord(
+            half_frame_start=sink.base + int(half_start),
+            slot=slot,
+            offset=self.nominal_offset,
+            gain=0j,
+            metric=0.0,
+            model="truncated",
+            preamble_errors=self.n_chips,
+        )
+        for slot_, sym in slot_symbols[1:]:
+            abs_start = half_start + int(self._useful_starts[symbol_index(slot_, sym)])
+            window_start = abs_start + self.nominal_offset
+            if window_start >= limit:
+                continue
+            self._emit_erased_window(sink, record, window_start)
+            sink.truncated_windows += 1
+        if record.data_starts:
+            sink.packets.append(record)
+
+    # -- per-half-frame core ------------------------------------------------------
+
+    def _demod_half_frame(self, shifted, reference, half_start, limit, sink):
+        """Demodulate one half-frame of a (possibly chunk-local) capture.
+
+        ``limit`` is the number of valid samples in ``shifted``/
+        ``reference``; a half-frame reaching past it is the truncated-tail
+        case — packets that still fit demodulate normally, the rest emit
+        erasure windows.  Emitted indices are shifted by ``sink.base``.
+        """
+        if half_start < 0:
+            return None
+        fft = self.params.fft_size
+        sounding_end = (
+            half_start
+            + int(self._useful_starts[symbol_index(0, PSS_SYMBOL_IN_SLOT)])
+            + fft
+        )
+        have_sounding = sounding_end <= limit
+        cascade = None
+        if have_sounding:
+            with span("bsrx.sync"):
+                cascade = self._cascade_channel(shifted, reference, half_start)
+        for slot_symbols in slot_plan():
+            slot, sym0 = slot_symbols[0]
+            pre_start = half_start + int(
+                self._useful_starts[symbol_index(slot, sym0)]
+            )
+            if not have_sounding or pre_start + fft > limit:
+                self._emit_truncated_packet(sink, slot_symbols, half_start, limit)
+                continue
+            y0, _ = self._useful(shifted, half_start, slot, sym0)
+            x0, _ = self._useful(reference, half_start, slot, sym0)
+
+            with span("bsrx.phase_offset"):
+                est_a, channel_a, errors_a = self._model_post_eq(y0, x0)
+                est_b, errors_b = self._model_predistort(y0, x0, cascade)
+
+            preamble_errors = min(errors_a, errors_b)
+            if (
+                self.erasure_threshold is not None
+                and preamble_errors > self.erasure_threshold * self.n_chips
+            ):
+                # Preamble correlation collapsed: sync is lost for this
+                # packet.  Emit its data windows as erasures (nominal
+                # offset, placeholder bits) so the accounting layer can
+                # exclude them, then continue at the next packet — the
+                # half-frame grid is PSS-derived, so the next boundary
+                # is the re-acquisition point.
+                record = PacketRecord(
+                    half_frame_start=sink.base + int(half_start),
+                    slot=slot,
+                    offset=self.nominal_offset,
+                    gain=0j,
+                    metric=0.0,
+                    model="erased",
+                    preamble_errors=preamble_errors,
+                )
+                for slot_, sym in slot_symbols[1:]:
+                    abs_start = half_start + int(
+                        self._useful_starts[symbol_index(slot_, sym)]
+                    )
+                    window_start = abs_start + self.nominal_offset
+                    if window_start >= limit:
+                        continue
+                    self._emit_erased_window(sink, record, window_start)
+                sink.packets.append(record)
+                continue
+
+            use_post_eq = errors_a <= errors_b
+            estimate = est_a if use_post_eq else est_b
+            record = PacketRecord(
+                half_frame_start=sink.base + int(half_start),
+                slot=slot,
+                offset=estimate.offset,
+                gain=estimate.gain,
+                metric=estimate.metric,
+                model="post-eq" if use_post_eq else "predistort",
+                preamble_errors=min(errors_a, errors_b),
+            )
+            derotate_b = np.conj(est_b.gain)
+            for slot_, sym in slot_symbols[1:]:
+                abs_start = half_start + int(
+                    self._useful_starts[symbol_index(slot_, sym)]
+                )
+                if abs_start + fft > limit:
+                    # Data symbol truncated mid-packet: erase it rather
+                    # than slicing a short window into garbage bits.
+                    window_start = abs_start + self.nominal_offset
+                    if window_start < limit:
+                        self._emit_erased_window(sink, record, window_start)
+                        sink.truncated_windows += 1
+                    continue
+                y, _ = self._useful(shifted, half_start, slot_, sym)
+                x, _ = self._useful(reference, half_start, slot_, sym)
+                lo = estimate.offset
+                hi = lo + self.n_chips
+                with span("bsrx.equalise"):
+                    if use_post_eq:
+                        y_eq = equalize_symbol(y, channel_a)
+                        soft = np.real(y_eq[lo:hi] * np.conj(x[lo:hi]))
+                    else:
+                        w = self._predistorted(x, cascade)
+                        soft = np.real(
+                            derotate_b * y[lo:hi] * np.conj(w[lo:hi])
+                        )
+                with span("bsrx.demod"):
+                    bits = (soft > 0).astype(np.int8)
+                sink.add_window(bits, soft, abs_start + lo, False, record)
+            sink.packets.append(record)
+        return cascade
+
+    # -- main entries --------------------------------------------------------------
 
     def demodulate(self, shifted_samples, ambient_reference, half_frame_starts):
         """Run the pipeline over every packet of a capture.
@@ -184,123 +430,201 @@ class BackscatterDemodulator:
         if shifted_samples.shape != ambient_reference.shape:
             raise ValueError("capture and reference must be sample-aligned")
 
-        n = len(shifted_samples)
-        fft = self.params.fft_size
-        all_bits = []
-        all_soft = []
-        starts = []
-        window_bits = []
-        window_erased = []
-        packets = []
-
+        sink = _DemodSink()
+        limit = len(shifted_samples)
         for half_start in half_frame_starts:
+            self._demod_half_frame(
+                shifted_samples, ambient_reference, int(half_start), limit, sink
+            )
+        return sink.result()
+
+    def demodulate_many(self, shifted_stack, reference_stack, half_frame_starts):
+        """Demodulate every tag riding one shared ambient capture at once.
+
+        ``shifted_stack``/``reference_stack`` are ``(n_tags, n_samples)``
+        stacks — row ``t`` is what tag ``t``'s UE captured and
+        reconstructed.  All tags share the PSS-derived half-frame grid of
+        the common ambient, so the per-symbol FFTs, channel estimates,
+        offset searches and matched filters run as single batched
+        transforms with a leading tag axis.
+
+        Returns one :class:`BsDemodResult` per row, each bit-identical to
+        ``demodulate(shifted_stack[t], reference_stack[t], ...)`` (the
+        batched helpers are row-for-row the same pocketfft transforms;
+        golden tests pin the equality).
+        """
+        shifted_stack = np.asarray(shifted_stack, dtype=complex)
+        reference_stack = np.asarray(reference_stack, dtype=complex)
+        if shifted_stack.ndim != 2:
+            raise ValueError("expected (n_tags, n_samples) stacks")
+        if shifted_stack.shape != reference_stack.shape:
+            raise ValueError("captures and references must be sample-aligned")
+
+        n_tags, limit = shifted_stack.shape
+        sinks = [_DemodSink() for _ in range(n_tags)]
+        for half_start in half_frame_starts:
+            half_start = int(half_start)
             if half_start < 0:
                 continue
-            last_needed = half_start + int(self._useful_starts[symbol_index(9, 6)]) + fft
-            if last_needed > n:
+            if half_start + self.half_frame_span > limit:
+                # Truncated tail: the bookkeeping dominates the math here,
+                # so run the scalar core per tag (identical by
+                # construction).
+                for t in range(n_tags):
+                    self._demod_half_frame(
+                        shifted_stack[t], reference_stack[t], half_start, limit,
+                        sinks[t],
+                    )
                 continue
-            with span("bsrx.sync"):
-                cascade = self._cascade_channel(
-                    shifted_samples, ambient_reference, half_start
+            self._demod_half_frame_batch(
+                shifted_stack, reference_stack, half_start, sinks
+            )
+        return [sink.result() for sink in sinks]
+
+    # -- batched per-half-frame core ----------------------------------------------
+
+    def _demod_half_frame_batch(self, shifted, reference, half_start, sinks):
+        """One full half-frame for every tag, stacked along axis 0."""
+        fft = self.params.fft_size
+        n_tags = shifted.shape[0]
+        rows = np.arange(n_tags)
+        with span("bsrx.sync"):
+            estimates = []
+            for sym in (SSS_SYMBOL_IN_SLOT, PSS_SYMBOL_IN_SLOT):
+                start = half_start + int(self._useful_starts[symbol_index(0, sym)])
+                estimates.append(
+                    estimate_channel_from_known_batch(
+                        shifted[:, start : start + fft],
+                        reference[:, start : start + fft],
+                    )
                 )
-            for slot_symbols in slot_plan():
-                slot, sym0 = slot_symbols[0]
-                y0, _ = self._useful(shifted_samples, half_start, slot, sym0)
-                x0, _ = self._useful(ambient_reference, half_start, slot, sym0)
+            cascade = np.mean(estimates, axis=0)
 
-                with span("bsrx.phase_offset"):
-                    est_a, channel_a, errors_a = self._model_post_eq(y0, x0)
-                    est_b, errors_b = self._model_predistort(y0, x0, cascade)
+        for slot_symbols in slot_plan():
+            slot, sym0 = slot_symbols[0]
+            p0 = half_start + int(self._useful_starts[symbol_index(slot, sym0)])
+            y0 = shifted[:, p0 : p0 + fft]
+            x0 = reference[:, p0 : p0 + fft]
 
-                preamble_errors = min(errors_a, errors_b)
-                if (
-                    self.erasure_threshold is not None
-                    and preamble_errors > self.erasure_threshold * self.n_chips
-                ):
-                    # Preamble correlation collapsed: sync is lost for this
-                    # packet.  Emit its data windows as erasures (nominal
-                    # offset, placeholder bits) so the accounting layer can
-                    # exclude them, then continue at the next packet — the
-                    # half-frame grid is PSS-derived, so the next boundary
-                    # is the re-acquisition point.
+            with span("bsrx.phase_offset"):
+                # Hypothesis A (post-EQ) for every tag at once.
+                est_a = find_modulation_offset_batch(
+                    y0, x0, self._preamble, self.nominal_offset, self.search_slack
+                )
+                expected = x0 * self._chip_waveform_batch(est_a.offsets)
+                channel_a = estimate_channel_from_known_batch(y0, expected)
+                y_eq = equalize_symbol_batch(y0, channel_a)
+                cols_a = est_a.offsets[:, None] + np.arange(self.n_chips)
+                soft_a = np.real(
+                    y_eq[rows[:, None], cols_a] * np.conj(x0[rows[:, None], cols_a])
+                )
+                errors_a = np.sum(
+                    (soft_a > 0).astype(np.int8) != self._preamble, axis=1
+                )
+
+                # Hypothesis B (pre-distorted reference) for every tag.
+                w0 = row_ifft(row_fft(x0) * cascade)
+                est_b = find_modulation_offset_batch(
+                    y0, w0, self._preamble, self.nominal_offset, self.search_slack
+                )
+                cols_b = est_b.offsets[:, None] + np.arange(self.n_chips)
+                soft_b = np.real(
+                    np.conj(est_b.gains)[:, None]
+                    * y0[rows[:, None], cols_b]
+                    * np.conj(w0[rows[:, None], cols_b])
+                )
+                errors_b = np.sum(
+                    (soft_b > 0).astype(np.int8) != self._preamble, axis=1
+                )
+
+            preamble_errors = np.minimum(errors_a, errors_b)
+            use_post = errors_a <= errors_b
+            if self.erasure_threshold is not None:
+                erased = preamble_errors > self.erasure_threshold * self.n_chips
+            else:
+                erased = np.zeros(n_tags, dtype=bool)
+
+            records = [None] * n_tags
+            for t in range(n_tags):
+                sink = sinks[t]
+                if erased[t]:
                     record = PacketRecord(
-                        half_frame_start=int(half_start),
+                        half_frame_start=sink.base + half_start,
                         slot=slot,
                         offset=self.nominal_offset,
                         gain=0j,
                         metric=0.0,
                         model="erased",
-                        preamble_errors=preamble_errors,
+                        preamble_errors=int(preamble_errors[t]),
                     )
                     for slot_, sym in slot_symbols[1:]:
                         abs_start = half_start + int(
                             self._useful_starts[symbol_index(slot_, sym)]
                         )
-                        window_start = abs_start + self.nominal_offset
-                        bits = np.zeros(self.n_chips, dtype=np.int8)
-                        all_bits.append(bits)
-                        all_soft.append(np.zeros(self.n_chips))
-                        window_bits.append(bits)
-                        window_erased.append(True)
-                        starts.append(window_start)
-                        record.data_starts.append(window_start)
-                    packets.append(record)
-                    continue
-
-                use_post_eq = errors_a <= errors_b
-                estimate = est_a if use_post_eq else est_b
-                record = PacketRecord(
-                    half_frame_start=int(half_start),
-                    slot=slot,
-                    offset=estimate.offset,
-                    gain=estimate.gain,
-                    metric=estimate.metric,
-                    model="post-eq" if use_post_eq else "predistort",
-                    preamble_errors=min(errors_a, errors_b),
-                )
-                derotate_b = np.conj(est_b.gain)
-                for slot_, sym in slot_symbols[1:]:
-                    y, abs_start = self._useful(
-                        shifted_samples, half_start, slot_, sym
+                        self._emit_erased_window(
+                            sink, record, abs_start + self.nominal_offset
+                        )
+                    sink.packets.append(record)
+                else:
+                    est = est_a if use_post[t] else est_b
+                    records[t] = PacketRecord(
+                        half_frame_start=sink.base + half_start,
+                        slot=slot,
+                        offset=int(est.offsets[t]),
+                        gain=complex(est.gains[t]),
+                        metric=float(est.metrics[t]),
+                        model="post-eq" if use_post[t] else "predistort",
+                        preamble_errors=int(preamble_errors[t]),
                     )
-                    x, _ = self._useful(ambient_reference, half_start, slot_, sym)
-                    lo = estimate.offset
-                    hi = lo + self.n_chips
-                    with span("bsrx.equalise"):
-                        if use_post_eq:
-                            y_eq = equalize_symbol(y, channel_a)
-                            soft = np.real(y_eq[lo:hi] * np.conj(x[lo:hi]))
-                        else:
-                            w = self._predistorted(x, cascade)
-                            soft = np.real(
-                                derotate_b * y[lo:hi] * np.conj(w[lo:hi])
-                            )
-                    with span("bsrx.demod"):
-                        bits = (soft > 0).astype(np.int8)
-                    all_bits.append(bits)
-                    all_soft.append(soft)
-                    window_bits.append(bits)
-                    window_erased.append(False)
-                    starts.append(abs_start + lo)
-                    record.data_starts.append(abs_start + lo)
-                packets.append(record)
 
-        if all_bits:
-            bits = np.concatenate(all_bits)
-            soft = np.concatenate(all_soft)
-        else:
-            bits = np.zeros(0, dtype=np.int8)
-            soft = np.zeros(0)
-        obs_metrics.counter_inc("bsrx.packets", len(packets))
-        obs_metrics.counter_inc("bsrx.windows", len(window_bits))
-        n_erased = int(sum(bool(flag) for flag in window_erased))
-        if n_erased:
-            obs_metrics.counter_inc("bsrx.erasures", n_erased)
-        return BsDemodResult(
-            bits=bits,
-            soft=soft,
-            starts=np.asarray(starts, dtype=np.int64),
-            window_bits=window_bits,
-            window_erased=window_erased,
-            packets=packets,
-        )
+            live = ~erased
+            post_idx = np.flatnonzero(live & use_post)
+            pre_idx = np.flatnonzero(live & ~use_post)
+            if not len(post_idx) and not len(pre_idx):
+                continue
+            derotate_b = np.conj(est_b.gains)
+
+            for slot_, sym in slot_symbols[1:]:
+                abs_start = half_start + int(
+                    self._useful_starts[symbol_index(slot_, sym)]
+                )
+                y = shifted[:, abs_start : abs_start + fft]
+                x = reference[:, abs_start : abs_start + fft]
+                soft_all = np.zeros((n_tags, self.n_chips))
+                with span("bsrx.equalise"):
+                    if len(post_idx):
+                        sub = np.arange(len(post_idx))[:, None]
+                        cols = cols_a[post_idx]
+                        y_eq = equalize_symbol_batch(
+                            y[post_idx], channel_a[post_idx]
+                        )
+                        xs = x[post_idx]
+                        soft_all[post_idx] = np.real(
+                            y_eq[sub, cols] * np.conj(xs[sub, cols])
+                        )
+                    if len(pre_idx):
+                        sub = np.arange(len(pre_idx))[:, None]
+                        cols = cols_b[pre_idx]
+                        w = row_ifft(row_fft(x[pre_idx]) * cascade[pre_idx])
+                        ys = y[pre_idx]
+                        soft_all[pre_idx] = np.real(
+                            derotate_b[pre_idx][:, None]
+                            * ys[sub, cols]
+                            * np.conj(w[sub, cols])
+                        )
+                with span("bsrx.demod"):
+                    bits_all = (soft_all > 0).astype(np.int8)
+                for t in range(n_tags):
+                    record = records[t]
+                    if record is None:
+                        continue
+                    sinks[t].add_window(
+                        bits_all[t],
+                        soft_all[t],
+                        abs_start + record.offset,
+                        False,
+                        record,
+                    )
+            for t in range(n_tags):
+                if records[t] is not None:
+                    sinks[t].packets.append(records[t])

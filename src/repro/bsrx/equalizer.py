@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.lte.ofdm import row_fft, row_ifft
+
 #: Default smoothing window (bins).  A W-bin boxcar tolerates delay spreads
 #: up to ~N/W samples; channels here are <= a handful of taps.
 DEFAULT_SMOOTH_BINS = 15
@@ -64,3 +66,59 @@ def equalize_symbol(observed, channel):
     lam = 0.01 * float(np.mean(power)) + 1e-30
     equalized = y * np.conj(channel) / (power + lam)
     return np.fft.ifft(equalized)
+
+
+# -- batched (leading tag axis) variants --------------------------------------
+#
+# Row-for-row bit-identical to the 1-D functions above: the transforms are
+# the same pocketfft (see repro.lte.ofdm.row_fft), the smoothing kernel is
+# shared across rows, and the regulariser is a per-row mean computed with
+# the same pairwise summation as the 1-D case.  The batched cross-tag
+# demodulator stacks every tag riding one ambient capture along axis 0.
+
+
+def _circular_smooth_rows(values, window):
+    """Circular moving average along the last axis of a complex array."""
+    window = int(window)
+    if window <= 1:
+        return values.copy()
+    n = values.shape[-1]
+    kernel = np.zeros(n)
+    half = window // 2
+    kernel[: half + 1] = 1.0
+    kernel[-half:] = 1.0
+    kernel /= kernel.sum()
+    return row_ifft(row_fft(values) * np.fft.fft(kernel))
+
+
+def estimate_channel_from_known_batch(
+    observed, expected, smooth_bins=DEFAULT_SMOOTH_BINS
+):
+    """Row-wise :func:`estimate_channel_from_known` over a tag axis.
+
+    ``observed``/``expected`` are ``(n_tags, fft_size)`` stacks of useful
+    symbols; returns the ``(n_tags, fft_size)`` frequency responses.
+    """
+    observed = np.asarray(observed, dtype=complex)
+    expected = np.asarray(expected, dtype=complex)
+    if observed.shape != expected.shape:
+        raise ValueError("observed and expected must be the same shape")
+    y = row_fft(observed)
+    e = row_fft(expected)
+    cross = _circular_smooth_rows(y * np.conj(e), smooth_bins)
+    power = _circular_smooth_rows((np.abs(e) ** 2).astype(complex), smooth_bins).real
+    lam = 0.01 * np.mean(power, axis=-1, keepdims=True) + 1e-30
+    return cross / (power + lam)
+
+
+def equalize_symbol_batch(observed, channel):
+    """Row-wise :func:`equalize_symbol` over a tag axis."""
+    observed = np.asarray(observed, dtype=complex)
+    channel = np.asarray(channel, dtype=complex)
+    if observed.shape != channel.shape:
+        raise ValueError("symbols and channels must be the same shape")
+    y = row_fft(observed)
+    power = np.abs(channel) ** 2
+    lam = 0.01 * np.mean(power, axis=-1, keepdims=True) + 1e-30
+    equalized = y * np.conj(channel) / (power + lam)
+    return row_ifft(equalized)

@@ -184,6 +184,15 @@ def _validate_fleet(args):
         return _fail_usage(f"--workers must be >= 1, got {args.workers}")
     if args.frames < 1:
         return _fail_usage(f"--frames must be >= 1, got {args.frames}")
+    if args.chunk_half_frames is not None and args.chunk_half_frames < 1:
+        return _fail_usage(
+            f"--chunk-half-frames must be >= 1, got {args.chunk_half_frames}"
+        )
+    if args.batch_tags and args.trace:
+        return _fail_usage(
+            "--batch-tags shares one demod pass across tags, so per-tag "
+            "traces cannot be attributed; drop one of the two flags"
+        )
     return None
 
 
@@ -209,6 +218,9 @@ def _cmd_fleet(args):
         workers=args.workers,
         seed=args.seed,
         trace=args.trace,
+        batch_tags=args.batch_tags,
+        streaming=args.streaming,
+        chunk_half_frames=args.chunk_half_frames,
     ) as runner:
         report = runner.run(payload_length=args.payload)
     print(
@@ -248,6 +260,10 @@ def _validate_network(args):
     if args.layout == "grid" and (args.rows < 1 or args.cols < 1):
         return _fail_usage(
             f"--rows/--cols must be >= 1, got {args.rows}x{args.cols}"
+        )
+    if args.chunk_half_frames is not None and args.chunk_half_frames < 1:
+        return _fail_usage(
+            f"--chunk-half-frames must be >= 1, got {args.chunk_half_frames}"
         )
     return None
 
@@ -293,6 +309,9 @@ def _cmd_network(args):
         seed=args.seed,
         attach_mode=args.attach,
         payload_length=args.payload,
+        batch_tags=args.batch_tags,
+        streaming=args.streaming,
+        chunk_half_frames=args.chunk_half_frames,
     ) as runner:
         report = runner.run()
 
@@ -382,10 +401,10 @@ def _cmd_bench(args):
     if args.check and not os.path.exists(args.check):
         return _fail_usage(f"baseline file {args.check!r} does not exist")
     # Smoke runs default to a scratch path under artifacts/ so CI never
-    # clobbers the committed full-mode baseline (BENCH_PR6.json).
+    # clobbers the committed full-mode baseline (BENCH_PR7.json).
     output = args.output
     if output is None:
-        output = "artifacts/bench_smoke.json" if args.smoke else "BENCH_PR6.json"
+        output = "artifacts/bench_smoke.json" if args.smoke else "BENCH_PR7.json"
     results = run_bench(
         output=output,
         bandwidth=args.bandwidth,
@@ -580,6 +599,24 @@ def build_parser():
         action="store_true",
         help="overwrite --trace-output if it already exists",
     )
+    fleet.add_argument(
+        "--batch-tags",
+        action="store_true",
+        help="stack all tags into one batched cross-tag demod pass "
+        "(bit-identical to the per-tag path, runs in the parent)",
+    )
+    fleet.add_argument(
+        "--streaming",
+        action="store_true",
+        help="demodulate each capture in half-frame-aligned chunks "
+        "(bit-identical, bounded demod working set)",
+    )
+    fleet.add_argument(
+        "--chunk-half-frames",
+        type=int,
+        default=None,
+        help="streaming chunk size in half-frames (default 4)",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     network = sub.add_parser(
@@ -643,6 +680,24 @@ def build_parser():
         action="store_true",
         help="overwrite --output if it already exists",
     )
+    network.add_argument(
+        "--batch-tags",
+        action="store_true",
+        help="one batched cross-tag demod pass per cell cohort "
+        "(bit-identical to the per-cohort engine path)",
+    )
+    network.add_argument(
+        "--streaming",
+        action="store_true",
+        help="demodulate each capture in half-frame-aligned chunks "
+        "(bit-identical, bounded demod working set)",
+    )
+    network.add_argument(
+        "--chunk-half-frames",
+        type=int,
+        default=None,
+        help="streaming chunk size in half-frames (default 4)",
+    )
     network.set_defaults(func=_cmd_network)
 
     chaos = sub.add_parser(
@@ -683,7 +738,7 @@ def build_parser():
     bench.add_argument(
         "--output",
         default=None,
-        help="baseline JSON path (default BENCH_PR6.json, or "
+        help="baseline JSON path (default BENCH_PR7.json, or "
         "artifacts/bench_smoke.json in smoke mode)",
     )
     bench.add_argument(

@@ -62,6 +62,12 @@ class SystemConfig:
     #: (sync loss) instead of bits.  ``None`` disables (legacy behaviour);
     #: 0.35 is a robust default when fault injection is in play.
     erasure_threshold: float = None
+    #: Backscatter demodulation chunking: ``None`` demodulates the whole
+    #: capture at once; an integer runs the chunked streaming receiver
+    #: (:class:`repro.bsrx.streaming.StreamingDemodulator`) with that many
+    #: half-frames per chunk — bit-identical output, O(chunk) demod
+    #: working set.
+    demod_chunk_half_frames: int = None
 
     def __post_init__(self):
         if self.enb_to_ue_ft is None:
@@ -77,6 +83,13 @@ class SystemConfig:
                 f"erasure_threshold must be in [0, 1] or None, "
                 f"got {self.erasure_threshold!r}"
             )
+        if self.demod_chunk_half_frames is not None:
+            if int(self.demod_chunk_half_frames) < 1:
+                raise ValueError(
+                    f"demod_chunk_half_frames must be >= 1 or None, "
+                    f"got {self.demod_chunk_half_frames!r}"
+                )
+            self.demod_chunk_half_frames = int(self.demod_chunk_half_frames)
 
     @property
     def params(self):

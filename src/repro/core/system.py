@@ -60,6 +60,31 @@ class RunArtifacts:
 
 
 @dataclass
+class FrontEndState:
+    """Everything stages 1-5 produce, short of demodulation.
+
+    :meth:`LScatterSystem.run_frontend` returns one of these;
+    :meth:`LScatterSystem.finalize_run` turns it plus a demod result into
+    the :class:`~repro.core.metrics.LinkReport`.  The split lets the
+    batched cross-tag runner stack many tags' front-ends into one
+    :meth:`~repro.bsrx.demodulator.BackscatterDemodulator.demodulate_many`
+    call without re-deriving any randomness — the RNG draws all happen
+    in the front-end, in the same order as the monolithic run.
+    """
+
+    capture: object
+    schedule: object
+    shifted_rx: np.ndarray
+    direct_rx: np.ndarray
+    reference: np.ndarray
+    half_starts: np.ndarray
+    sync_failed: bool
+    error_samples: int | None
+    sync_result: object | None
+    lte_result: object | None
+
+
+@dataclass
 class AmbientStage:
     """Output of the reusable ambient half of a simulation.
 
@@ -237,6 +262,29 @@ class LScatterSystem:
         return report
 
     def _run(self, payload_bits, payload_length, artifacts, ambient, owned_half_frames):
+        front = self.run_frontend(
+            payload_bits=payload_bits,
+            payload_length=payload_length,
+            ambient=ambient,
+            owned_half_frames=owned_half_frames,
+        )
+        demod = self._demodulate(front)
+        return self.finalize_run(front, demod, artifacts=artifacts)
+
+    def run_frontend(
+        self,
+        payload_bits=None,
+        payload_length=20000,
+        ambient=None,
+        owned_half_frames=None,
+    ):
+        """Stages 1-5: everything up to (not including) demodulation.
+
+        Returns a :class:`FrontEndState`.  All six RNG streams are spawned
+        and consumed here exactly as in :meth:`run`, so
+        ``finalize_run(front, demodulate(front...))`` is bit-identical to
+        the monolithic call.
+        """
         config = self.config
         rngs = spawn_rngs(self.rng.integers(0, 2**31 - 1), 6)
         rng_payload, rng_fade, rng_noise, rng_sync, rng_tx, rng_shadow = rngs
@@ -382,16 +430,57 @@ class LScatterSystem:
         with span("system.reference"):
             reference = self._reconstruct_reference(direct_rx, capture, lte_result)
 
-        # 6. Backscatter demodulation.
         half = self.params.samples_per_frame // 2
         half_starts = np.arange(0, len(unit) - half + 1, half)
+        return FrontEndState(
+            capture=capture,
+            schedule=schedule,
+            shifted_rx=shifted_rx,
+            direct_rx=direct_rx,
+            reference=reference,
+            half_starts=half_starts,
+            sync_failed=sync_failed,
+            error_samples=error_samples,
+            sync_result=sync_result,
+            lte_result=lte_result,
+        )
+
+    def _demodulate(self, front):
+        """Stage 6: backscatter demodulation, whole-capture or streamed.
+
+        ``config.demod_chunk_half_frames`` selects the chunked streaming
+        receiver (bit-identical output, bounded working set).
+        """
+        chunk = getattr(self.config, "demod_chunk_half_frames", None)
         with span("bsrx.demodulate") as sp:
-            demod = self.demodulator.demodulate(shifted_rx, reference, half_starts)
+            if chunk:
+                from repro.bsrx.streaming import StreamingDemodulator
+
+                streamer = StreamingDemodulator(
+                    self.params,
+                    chunk_half_frames=chunk,
+                    erasure_threshold=self.demodulator.erasure_threshold,
+                )
+                demod = streamer.demodulate(
+                    front.shifted_rx, front.reference, front.half_starts
+                )
+            else:
+                demod = self.demodulator.demodulate(
+                    front.shifted_rx, front.reference, front.half_starts
+                )
             sp.set(
                 n_windows=demod.n_data_windows, n_erased=demod.n_erased_windows
             )
+        return demod
 
-        # 7. Metrics.
+    def finalize_run(self, front, demod, artifacts=False):
+        """Stage 7: metrics and the :class:`LinkReport`."""
+        capture = front.capture
+        schedule = front.schedule
+        sync_failed = front.sync_failed
+        error_samples = front.error_samples
+        lte_result = front.lte_result
+
         tolerance = self.params.fft_size // 2
         with span("system.metrics"):
             breakdown = measure_link(schedule, demod, tolerance)
@@ -421,8 +510,8 @@ class LScatterSystem:
                 capture=capture,
                 schedule=schedule,
                 demod=demod,
-                direct_rx=direct_rx,
-                shifted_rx=shifted_rx,
-                sync_result=sync_result,
+                direct_rx=front.direct_rx,
+                shifted_rx=front.shifted_rx,
+                sync_result=front.sync_result,
             )
         return report

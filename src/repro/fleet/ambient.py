@@ -181,8 +181,18 @@ class AmbientCache:
         fd, path = tempfile.mkstemp(
             prefix="lscatter-ambient-", suffix=".iq", dir=self._scratch_dir
         )
-        with os.fdopen(fd, "wb") as fh:
-            np.ascontiguousarray(entry.stage.unit, dtype=np.complex128).tofile(fh)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.ascontiguousarray(entry.stage.unit, dtype=np.complex128).tofile(fh)
+        except BaseException:
+            # A failed spill (full disk, interrupted write) must not
+            # orphan the scratch file: ``entry.path`` is only assigned on
+            # success, so ``clear()``/``close()`` would never unlink it.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
         entry.path = path
         entry.n_bytes = os.path.getsize(path)
         entry.checksum = crc32_file(path)

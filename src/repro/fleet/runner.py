@@ -22,10 +22,11 @@ of sinking the whole fleet.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.bsrx.streaming import DEFAULT_CHUNK_HALF_FRAMES
 from repro.core.system import LScatterSystem
 from repro.faults.infra import FaultyTask
 from repro.fleet.ambient import AmbientCache
@@ -112,6 +113,79 @@ def _simulate_tag(task):
     return elapsed, result
 
 
+def _empty_tag_result(task):
+    return TagResult(
+        name=task.name,
+        enb_to_tag_ft=task.enb_to_tag_ft,
+        tag_to_ue_ft=task.tag_to_ue_ft,
+        owned_half_frames=len(task.owned),
+        collided_half_frames=task.collided,
+    )
+
+
+def _simulate_tags_batched(tasks):
+    """Run many tags' stages with one batched cross-tag demod pass.
+
+    Front-ends (channels, tag, receive, reference) run per tag in task
+    order with each task's own pre-spawned seed — exactly the RNG draws
+    of :func:`_simulate_tag` — then every participating tag's capture is
+    stacked and demodulated in a single
+    :meth:`~repro.bsrx.demodulator.BackscatterDemodulator.demodulate_many`
+    call.  Returns ``[(elapsed, TagResult)]`` in task order, bit-identical
+    to mapping :func:`_simulate_tag` (asserted by the fleet equality
+    tests).  All tasks must share one capture geometry (same bandwidth
+    and frame count), which every deployment/cohort guarantees.
+    """
+    results = [None] * len(tasks)
+    front_elapsed = {}
+    live = []
+    for i, task in enumerate(tasks):
+        start = time.perf_counter()
+        result = _empty_tag_result(task)
+        if not task.owned:
+            elapsed = time.perf_counter() - start
+            result.elapsed_seconds = elapsed
+            results[i] = (elapsed, result)
+            continue
+        ambient = task.ambient
+        if hasattr(ambient, "load"):
+            ambient = ambient.load()
+        system = LScatterSystem(task.config, rng=task.seed)
+        front = system.run_frontend(
+            payload_length=task.payload_length,
+            ambient=ambient,
+            owned_half_frames=task.owned,
+        )
+        front_elapsed[i] = time.perf_counter() - start
+        live.append((i, result, system, front))
+    if live:
+        demod_start = time.perf_counter()
+        shifted = np.stack([front.shifted_rx for (_, _, _, front) in live])
+        references = np.stack([front.reference for (_, _, _, front) in live])
+        half_starts = live[0][3].half_starts
+        demods = live[0][2].demodulator.demodulate_many(
+            shifted, references, half_starts
+        )
+        demod_share = (time.perf_counter() - demod_start) / len(live)
+        for (i, result, system, front), demod in zip(live, demods):
+            finalize_start = time.perf_counter()
+            report = system.finalize_run(front, demod)
+            result.n_bits = report.n_bits
+            result.n_errors = report.n_errors
+            result.n_windows = report.n_windows
+            result.n_lost_windows = report.n_lost_windows
+            result.n_erased_windows = report.n_erased_windows
+            result.sync_error_us = report.sync_error_us
+            elapsed = (
+                front_elapsed[i]
+                + demod_share
+                + (time.perf_counter() - finalize_start)
+            )
+            result.elapsed_seconds = elapsed
+            results[i] = (elapsed, result)
+    return results
+
+
 class FleetRunner:
     """One multi-tag network simulation over a shared ambient capture."""
 
@@ -127,6 +201,9 @@ class FleetRunner:
         on_error="raise",
         infra_faults=None,
         trace=False,
+        batch_tags=False,
+        streaming=False,
+        chunk_half_frames=None,
     ):
         self.deployment = deployment
         self.scheme = scheme
@@ -146,6 +223,33 @@ class FleetRunner:
         #: Collect per-tag span trees + counter deltas and merge them
         #: into the report's ``stage_breakdown``/``counters``.
         self.trace = bool(trace)
+        #: Stack every tag into one batched cross-tag demod pass in the
+        #: parent process (bit-identical to the per-tag engine path).
+        self.batch_tags = bool(batch_tags)
+        #: Run each tag's demodulation through the chunked streaming
+        #: receiver (bit-identical, bounded demod working set).
+        self.streaming = bool(streaming)
+        self.chunk_half_frames = (
+            int(chunk_half_frames)
+            if chunk_half_frames is not None
+            else DEFAULT_CHUNK_HALF_FRAMES
+        )
+        if self.chunk_half_frames < 1:
+            raise ValueError(
+                f"chunk_half_frames must be >= 1, got {chunk_half_frames!r}"
+            )
+        if self.batch_tags and self.trace:
+            raise ValueError(
+                "batch_tags=True shares one demod pass across tags, so "
+                "per-tag span trees cannot be attributed; run trace=True "
+                "with the per-tag engine path instead"
+            )
+        if self.batch_tags and self.infra_faults is not None:
+            raise ValueError(
+                "batch_tags=True runs in the parent process; infra fault "
+                "injection targets worker tasks — use the per-tag engine "
+                "path"
+            )
 
     def close(self):
         """Release the ambient cache's scratch files if we own the cache."""
@@ -191,22 +295,29 @@ class FleetRunner:
             task_timeout_seconds=self.task_timeout_seconds,
             on_error=self.on_error,
         )
-        if engine.workers > 1 and n_tags > 1:
+        if engine.workers > 1 and n_tags > 1 and not self.batch_tags:
             ambient = self.cache.handle(
                 base_config,
                 self.seed,
                 include_frames=deployment.reference_mode == "decoded",
             )
         else:
+            # Serial and batched paths run in the parent: share the
+            # in-memory stage directly, no scratch spill needed.
             ambient = self.cache.get(base_config, self.seed)
 
         tasks = []
         for index, placement in enumerate(deployment.tags):
+            config = deployment.config_for(placement)
+            if self.streaming:
+                config = replace(
+                    config, demod_chunk_half_frames=self.chunk_half_frames
+                )
             tasks.append(
                 TagTask(
                     index=index,
                     name=placement.name,
-                    config=deployment.config_for(placement),
+                    config=config,
                     seed=tag_seeds[index],
                     owned=tuple(schedule.owned_half_frames(placement.name)),
                     collided=len(schedule.collided_half_frames(placement.name)),
@@ -218,8 +329,19 @@ class FleetRunner:
                 )
             )
 
-        task_fn = FaultyTask.from_faults(_simulate_tag, self.infra_faults)
-        raw = engine.map(task_fn, tasks)
+        if self.batch_tags:
+            # The batched pass runs in the parent (the FFT layer spreads
+            # rows across cores itself) — no engine processes involved.
+            engine.telemetry.workers = 1
+            wall_start = time.perf_counter()
+            raw = []
+            for elapsed, result in _simulate_tags_batched(tasks):
+                engine.telemetry.task_seconds += elapsed
+                raw.append(result)
+            engine.telemetry.wall_seconds = time.perf_counter() - wall_start
+        else:
+            task_fn = FaultyTask.from_faults(_simulate_tag, self.infra_faults)
+            raw = engine.map(task_fn, tasks)
         results = []
         for index, result in enumerate(raw):
             if isinstance(result, TaskFailure):

@@ -91,6 +91,21 @@ def frame_layout(params):
     )
 
 
+def row_fft(values):
+    """Row-wise FFT along the last axis, farmed to all cores.
+
+    Bit-identical to calling ``np.fft.fft`` on each row (both are
+    pocketfft; the golden tests in ``tests/bsrx`` pin this).  Used by the
+    batched cross-tag demodulator, where the leading axes are tags.
+    """
+    return _scipy_fft.fft(values, axis=-1, workers=FFT_WORKERS)
+
+
+def row_ifft(values):
+    """Row-wise inverse FFT along the last axis; see :func:`row_fft`."""
+    return _scipy_fft.ifft(values, axis=-1, workers=FFT_WORKERS)
+
+
 def modulate_symbol(params, subcarrier_values, symbol_in_slot):
     """IFFT one symbol's subcarriers and prepend its cyclic prefix."""
     bins = np.zeros(params.fft_size, dtype=complex)

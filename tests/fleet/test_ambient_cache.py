@@ -191,3 +191,39 @@ def test_close_and_context_manager_release_scratch(tmp_path):
     again = cache.handle(_config(), seed=0)
     assert os.path.exists(again.path)
     cache.close()
+
+
+def test_failed_spill_leaves_no_scratch_file(tmp_path, monkeypatch):
+    """A spill that dies mid-write (full disk, interrupt) must unlink the
+    half-written scratch file: ``entry.path`` is only assigned on success,
+    so nothing else would ever clean it up."""
+    cache = AmbientCache(scratch_dir=tmp_path)
+    cache.get(_config(), seed=0)  # populate the in-memory stage first
+
+    def exploding_write(*args, **kwargs):
+        raise OSError("no space left on device")
+
+    monkeypatch.setattr(np, "ascontiguousarray", exploding_write)
+    with pytest.raises(OSError):
+        cache.handle(_config(), seed=0)
+    assert list(tmp_path.iterdir()) == []
+
+    # The cache survives the failure: once writes work again the same
+    # entry spills cleanly.
+    monkeypatch.undo()
+    handle = cache.handle(_config(), seed=0)
+    assert os.path.exists(handle.path)
+    assert cache.transmit_calls == 1
+    cache.clear()
+
+
+def test_exception_between_handle_and_close_cleans_scratch(tmp_path):
+    """The context manager releases scratch spills on *error* exits too —
+    the runner crashing between ``handle()`` and ``close()`` must not
+    leak ``lscatter-ambient-*.iq`` files into the tempdir."""
+    with pytest.raises(RuntimeError):
+        with AmbientCache(scratch_dir=tmp_path) as cache:
+            handle = cache.handle(_config(), seed=0)
+            assert os.path.exists(handle.path)
+            raise RuntimeError("worker pool died")
+    assert list(tmp_path.iterdir()) == []

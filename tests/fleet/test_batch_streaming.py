@@ -1,0 +1,101 @@
+"""Fleet- and network-level batched/streaming demod: bit-identity switches.
+
+``batch_tags=`` and ``streaming=`` are pure execution-strategy knobs:
+flipping either (or both) must not change a single result bit relative
+to the per-tag engine path at any worker count.  These tests pin that
+contract at the :class:`FleetRunner` and :class:`NetworkRunner` level,
+on top of the demodulator-level equality tests in
+``tests/bsrx/test_batch_demod.py`` and ``tests/bsrx/test_streaming.py``.
+"""
+
+import pytest
+
+from repro.cells import NetworkDeployment, NetworkRunner, Topology
+from repro.fleet import Deployment, FleetRunner
+
+
+def _deployment(n_tags=3, n_frames=2):
+    return Deployment.ring(n_tags, bandwidth_mhz=1.4, n_frames=n_frames)
+
+
+def _tag_key(result):
+    return (
+        result.name,
+        result.n_bits,
+        result.n_errors,
+        result.n_windows,
+        result.n_lost_windows,
+        result.n_erased_windows,
+        result.sync_error_us,
+    )
+
+
+def _fleet_keys(**kwargs):
+    with FleetRunner(_deployment(), scheme="tdma", seed=5, **kwargs) as runner:
+        report = runner.run(payload_length=3000)
+    return [_tag_key(t) for t in report.tags], report
+
+
+def test_batched_fleet_matches_engine_paths():
+    serial, _ = _fleet_keys(workers=1)
+    parallel, _ = _fleet_keys(workers=2)
+    batched, report = _fleet_keys(workers=1, batch_tags=True)
+    assert serial == parallel == batched
+    # The batched pass runs in the parent; the report must say so rather
+    # than advertising engine workers that never ran.
+    batched2, report2 = _fleet_keys(workers=4, batch_tags=True)
+    assert batched2 == batched
+    assert report2.workers == 1
+
+
+def test_streaming_fleet_matches_whole_capture():
+    plain, _ = _fleet_keys(workers=1)
+    for chunk in (1, 3):
+        streamed, _ = _fleet_keys(
+            workers=1, streaming=True, chunk_half_frames=chunk
+        )
+        assert streamed == plain
+    both, _ = _fleet_keys(workers=1, batch_tags=True, streaming=True)
+    assert both == plain
+
+
+def test_batch_tags_rejects_incompatible_modes():
+    with pytest.raises(ValueError):
+        FleetRunner(_deployment(), batch_tags=True, trace=True)
+    from repro.faults.plan import InfraFaults
+
+    with pytest.raises(ValueError):
+        FleetRunner(
+            _deployment(), batch_tags=True, infra_faults=InfraFaults()
+        )
+    with pytest.raises(ValueError):
+        FleetRunner(_deployment(), streaming=True, chunk_half_frames=0)
+
+
+def _network_keys(**kwargs):
+    topology = Topology.grid(1, 2, spacing_ft=300.0, n_frames=1)
+    deployment = NetworkDeployment.scatter(4, topology, seed=2)
+    with NetworkRunner(topology, deployment, seed=9, **kwargs) as runner:
+        report = runner.run()
+    keys = []
+    for cell_id in sorted(report.cells):
+        keys.extend(
+            (cell_id,) + _tag_key(t) for t in report.cells[cell_id].tags
+        )
+    return keys
+
+
+def test_network_batched_and_streaming_match_engine_paths():
+    serial = _network_keys(workers=1)
+    parallel = _network_keys(workers=2)
+    batched = _network_keys(workers=1, batch_tags=True)
+    streamed = _network_keys(workers=1, streaming=True, chunk_half_frames=1)
+    both = _network_keys(workers=2, batch_tags=True, streaming=True)
+    assert serial == parallel == batched == streamed == both
+
+
+def test_network_chunk_validation():
+    topology = Topology.grid(1, 1, spacing_ft=300.0, n_frames=1)
+    deployment = NetworkDeployment.scatter(1, topology, seed=0)
+    with pytest.raises(ValueError):
+        NetworkRunner(topology, deployment, streaming=True, chunk_half_frames=0)

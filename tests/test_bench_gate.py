@@ -8,6 +8,8 @@ BASE = {
     "sequence_cache": {"speedup": 1000.0},
     "trace_overhead": {"overhead_fraction": 0.001},
     "network": {"cache_hit_ratio": 0.5},
+    "bsrx_batch": {"speedup": 3.0},
+    "streaming": {"memory_ratio": 4.0},
 }
 
 
@@ -82,6 +84,22 @@ def test_missing_metric_is_reported_not_gated():
     missing = [m for m in report["metrics"] if m["status"] == "missing"]
     assert [m["metric"] for m in missing] == ["sequence_cache.speedup"]
     assert "missing (not gated)" in format_check(report)
+
+
+def test_metric_missing_from_current_run_fails_loudly():
+    # The inverse of the old-baseline case: the baseline gates a metric
+    # the new run never produced (dropped section, renamed key).  That
+    # must fail the gate and name the metric, not pass by omission.
+    import copy
+
+    current = copy.deepcopy(BASE)
+    del current["streaming"]
+    report = compare_to_baseline(current, BASE, tolerance=0.25)
+    assert not report["passed"]
+    assert report["regressions"] == ["streaming.memory_ratio"]
+    text = format_check(report)
+    assert "MISSING from current run" in text
+    assert "bench gate: FAILED (streaming.memory_ratio)" in text
 
 
 def test_network_hit_ratio_gated():
