@@ -73,6 +73,38 @@ from repro.obs.trace import span
 from repro.tag.framing import preamble_bits, slot_plan
 
 
+def window_snr_db(soft, reference_power=None):
+    """Post-detection SNR proxy of one window's matched-filter outputs.
+
+    For ±1 chips the soft values are ``a_k * b_k + n_k``, so the
+    second-moment method estimates the signal amplitude as ``mean(|s|)``
+    and the noise power as ``mean(s^2) - mean(|s|)^2``.  A clean window
+    has tightly clustered ``|s|`` (noise power near zero, SNR large); a
+    jammed window's soft values scatter and the ratio collapses — the
+    statistic the per-window erasure escalation gates on.
+
+    The matched-filter output scales with the ambient's per-chip power
+    ``|x_k|^2``, which fluctuates strongly across an OFDM symbol — raw
+    soft values therefore scatter even on a noiseless link.  Pass that
+    chip power as ``reference_power`` to divide it out first; the
+    normalised values cluster at ``±b`` per chip and the proxy then
+    measures link corruption, not ambient amplitude statistics.
+    """
+    soft = np.asarray(soft, dtype=float)
+    if len(soft) == 0:
+        return float("-inf")
+    if reference_power is not None:
+        reference_power = np.asarray(reference_power, dtype=float)
+        floor = 1e-12 * float(np.mean(reference_power))
+        soft = soft / np.maximum(reference_power, floor if floor > 0 else 1.0)
+    amplitude = float(np.mean(np.abs(soft)))
+    if amplitude == 0.0:
+        return float("-inf")
+    power = float(np.mean(soft**2))
+    noise = max(power - amplitude**2, 1e-12 * power)
+    return float(10.0 * np.log10(amplitude**2 / noise))
+
+
 @dataclass
 class PacketRecord:
     """Per-packet demodulation bookkeeping."""
@@ -174,7 +206,9 @@ class _DemodSink:
 class BackscatterDemodulator:
     """Demodulate tag chips from a shifted-band capture."""
 
-    def __init__(self, params, search_slack=None, erasure_threshold=None):
+    def __init__(
+        self, params, search_slack=None, erasure_threshold=None, snr_gate_db=None
+    ):
         self.params = (
             params if isinstance(params, LteParams) else LteParams.from_bandwidth(params)
         )
@@ -196,6 +230,13 @@ class BackscatterDemodulator:
         self.erasure_threshold = (
             float(erasure_threshold) if erasure_threshold is not None else None
         )
+        #: Per-window erasure escalation: even when a packet's preamble
+        #: passed, a *data* window whose post-detection SNR proxy
+        #: (:func:`window_snr_db`) falls below this many dB is emitted as
+        #: an erasure instead of bits — a jammer burst inside an otherwise
+        #: healthy packet then feeds the ARQ path instead of the BER.
+        #: ``None`` (default) disables the gate (bit-identical legacy).
+        self.snr_gate_db = float(snr_gate_db) if snr_gate_db is not None else None
         # Cached per-frame symbol layout: the inner loops below look up a
         # useful-symbol offset per symbol per packet, which was an O(sym)
         # Python walk through LteParams.useful_start.
@@ -411,6 +452,17 @@ class BackscatterDemodulator:
                         soft = np.real(
                             derotate_b * y[lo:hi] * np.conj(w[lo:hi])
                         )
+                if (
+                    self.snr_gate_db is not None
+                    and window_snr_db(soft, np.abs(x[lo:hi]) ** 2)
+                    < self.snr_gate_db
+                ):
+                    # SNR-gated erasure escalation: a jammed data symbol
+                    # inside an otherwise healthy packet becomes an
+                    # erasure (ARQ-visible) instead of garbage bits.
+                    self._emit_erased_window(sink, record, abs_start + lo)
+                    obs_metrics.counter_inc("bsrx.snr_erasures")
+                    continue
                 with span("bsrx.demod"):
                     bits = (soft > 0).astype(np.int8)
                 sink.add_window(bits, soft, abs_start + lo, False, record)
@@ -591,6 +643,7 @@ class BackscatterDemodulator:
                 y = shifted[:, abs_start : abs_start + fft]
                 x = reference[:, abs_start : abs_start + fft]
                 soft_all = np.zeros((n_tags, self.n_chips))
+                ref_power_all = np.zeros((n_tags, self.n_chips))
                 with span("bsrx.equalise"):
                     if len(post_idx):
                         sub = np.arange(len(post_idx))[:, None]
@@ -602,21 +655,37 @@ class BackscatterDemodulator:
                         soft_all[post_idx] = np.real(
                             y_eq[sub, cols] * np.conj(xs[sub, cols])
                         )
+                        ref_power_all[post_idx] = np.abs(xs[sub, cols]) ** 2
                     if len(pre_idx):
                         sub = np.arange(len(pre_idx))[:, None]
                         cols = cols_b[pre_idx]
-                        w = row_ifft(row_fft(x[pre_idx]) * cascade[pre_idx])
+                        xp = x[pre_idx]
+                        w = row_ifft(row_fft(xp) * cascade[pre_idx])
                         ys = y[pre_idx]
                         soft_all[pre_idx] = np.real(
                             derotate_b[pre_idx][:, None]
                             * ys[sub, cols]
                             * np.conj(w[sub, cols])
                         )
+                        ref_power_all[pre_idx] = np.abs(xp[sub, cols]) ** 2
                 with span("bsrx.demod"):
                     bits_all = (soft_all > 0).astype(np.int8)
                 for t in range(n_tags):
                     record = records[t]
                     if record is None:
+                        continue
+                    if (
+                        self.snr_gate_db is not None
+                        and window_snr_db(soft_all[t], ref_power_all[t])
+                        < self.snr_gate_db
+                    ):
+                        # Same SNR-gated escalation as the scalar path, so
+                        # batch and scalar demod stay window-for-window
+                        # identical with the gate enabled.
+                        self._emit_erased_window(
+                            sinks[t], record, abs_start + record.offset
+                        )
+                        obs_metrics.counter_inc("bsrx.snr_erasures")
                         continue
                     sinks[t].add_window(
                         bits_all[t],

@@ -75,6 +75,7 @@ class StreamingDemodulator:
         chunk_half_frames=DEFAULT_CHUNK_HALF_FRAMES,
         search_slack=None,
         erasure_threshold=None,
+        snr_gate_db=None,
         first_half_frame_start=0,
     ):
         self.chunk_half_frames = int(chunk_half_frames)
@@ -86,6 +87,7 @@ class StreamingDemodulator:
             params,
             search_slack=search_slack,
             erasure_threshold=erasure_threshold,
+            snr_gate_db=snr_gate_db,
         )
         self.params = self.demodulator.params
         #: Samples per half-frame (also the demodulation span of one

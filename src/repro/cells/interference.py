@@ -43,6 +43,23 @@ def timing_offset_samples(cell_id, samples_per_frame):
     return (int(cell_id) * _OFFSET_STRIDE) % int(samples_per_frame)
 
 
+#: Stride for intra-cell ghost-tag offsets (a different prime than the
+#: inter-cell one, so ghost tags never alias onto neighbour-cell timing).
+_GHOST_STRIDE = 5077
+
+
+def ghost_tag_offsets(n_ghosts, samples_per_frame):
+    """Deterministic sample offsets for ``n_ghosts`` co-channel ghost tags.
+
+    Intra-cell tag-to-tag interference (the :mod:`repro.stress` tag-mob
+    scenario) places each ghost's chip stream at a distinct, reproducible
+    offset inside the frame; the 1-based stride keeps ghost 0 off the
+    real tag's own timing.
+    """
+    period = int(samples_per_frame)
+    return [((g + 1) * _GHOST_STRIDE) % period for g in range(int(n_ghosts))]
+
+
 def relative_amplitude_db(topology, serving_site, neighbour_site, x_ft, y_ft):
     """Neighbour downlink power at a point, relative to the serving cell."""
     return topology.rx_dbm_at(neighbour_site, x_ft, y_ft) - topology.rx_dbm_at(

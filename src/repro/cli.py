@@ -351,6 +351,9 @@ def _cmd_chaos(args):
     output = args.output
     if output is None:
         output = "artifacts/chaos_smoke.json" if args.smoke else "CHAOS_PR3.json"
+    error = _refuse_overwrite(output, args.force)
+    if error is not None:
+        return error
     report = run_chaos(
         output=output,
         smoke=args.smoke,
@@ -383,6 +386,69 @@ def _cmd_chaos(args):
             f"{fleet['scratch_corruption']['integrity_failures']})"
         )
     print(f"chaos: {'PASSED' if report['passed'] else 'FAILED'}")
+    print(f"wrote {output}")
+    return 0 if report["passed"] else 1
+
+
+def _cmd_stress(args):
+    if not 0.0 <= args.max_intensity <= 1.0:
+        return _fail_usage(
+            f"--max-intensity must be in [0, 1], got {args.max_intensity}"
+        )
+    from repro.stress import SCENARIOS, run_stress
+
+    scenarios = args.scenarios.split(",") if args.scenarios else None
+    if scenarios:
+        for scenario in scenarios:
+            if scenario not in SCENARIOS:
+                return _fail_usage(
+                    f"unknown stress scenario {scenario!r}; choose from "
+                    f"{', '.join(SCENARIOS)}"
+                )
+    # Mirror chaos: smoke runs default to artifacts/ so CI never clobbers
+    # the committed full-mode report (STRESS_PR8.json).
+    output = args.output
+    if output is None:
+        output = (
+            "artifacts/stress_smoke.json" if args.smoke else "STRESS_PR8.json"
+        )
+    error = _refuse_overwrite(output, args.force)
+    if error is not None:
+        return error
+    report = run_stress(
+        output=output,
+        smoke=args.smoke,
+        seed=args.seed,
+        max_intensity=args.max_intensity,
+        scenarios=scenarios,
+    )
+    noop_ok = "OK" if all(c["passed"] for c in report["noop_contracts"]) else "FAILED"
+    print(f"stress: no-op contracts {noop_ok}")
+    for sweep in report["sweeps"]:
+        goodputs = ", ".join(
+            f"{(p['goodput_bps'] or 0.0) / 1e3:.1f}" for p in sweep["points"]
+        )
+        flag = "monotone" if sweep["monotone_goodput"] else "NOT MONOTONE"
+        print(
+            f"stress: {sweep['scenario']:16s} goodput kbps [{goodputs}] {flag}"
+        )
+    for probe in report["sync_probes"]:
+        held = "held" if not probe["adaptive"]["sync_failed"] else "LOST"
+        print(
+            f"stress: sync probe {probe['scenario']:16s} sync {held} "
+            f"(attempts {probe['adaptive']['resync_attempts']}, "
+            f"recovered {probe['resync_recovered']})"
+        )
+    degradation = report["degradation"]
+    print(
+        f"stress: mac backoff "
+        f"{'OK' if degradation['mac_backoff']['passed'] else 'FAILED'} "
+        f"(recovery {degradation['mac_backoff']['recovery_latency_slots']} "
+        f"slots); arq "
+        f"{'OK' if degradation['arq_jamming']['passed'] else 'FAILED'} "
+        f"(bit-exact {degradation['arq_jamming']['all_bit_exact']})"
+    )
+    print(f"stress: {'PASSED' if report['passed'] else 'FAILED'}")
     print(f"wrote {output}")
     return 0 if report["passed"] else 1
 
@@ -732,7 +798,47 @@ def build_parser():
         action="store_true",
         help="skip the fleet-resilience experiment (fastest)",
     )
+    chaos.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing report file",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    stress = sub.add_parser(
+        "stress", help="adversarial-scenario sweeps and degradation curves"
+    )
+    stress.add_argument(
+        "--output",
+        default=None,
+        help="report JSON path (default STRESS_PR8.json, or "
+        "artifacts/stress_smoke.json in smoke mode)",
+    )
+    stress.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: short capture, 3 intensity points",
+    )
+    stress.add_argument("--seed", type=int, default=0)
+    stress.add_argument(
+        "--max-intensity",
+        type=float,
+        default=1.0,
+        help="top of the intensity sweep, in [0, 1]",
+    )
+    stress.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: all); "
+        "bursty-pdsch, signalling-storm, sweep-jammer, reactive-jammer, "
+        "pss-jammer, tag-mob",
+    )
+    stress.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing report file",
+    )
+    stress.set_defaults(func=_cmd_stress)
 
     bench = sub.add_parser("bench", help="benchmark the DSP hot path")
     bench.add_argument(

@@ -68,6 +68,16 @@ class SystemConfig:
     #: half-frames per chunk — bit-identical output, O(chunk) demod
     #: working set.
     demod_chunk_half_frames: int = None
+    #: Per-window SNR-gated erasure escalation (dB): data windows whose
+    #: post-detection SNR proxy falls below this are emitted as erasures
+    #: even when the packet's preamble passed — graceful degradation under
+    #: in-packet jammer bursts.  ``None`` disables (legacy behaviour).
+    window_snr_gate_db: float = None
+    #: Adaptive re-sync budget for ``sync_mode="circuit"``: when the
+    #: comparator finds no PSS edges, retry up to this many times with a
+    #: geometrically relaxed threshold margin (bounded exponential
+    #: backoff).  0 keeps the legacy single-pass circuit bit-identical.
+    sync_resync_attempts: int = 0
 
     def __post_init__(self):
         if self.enb_to_ue_ft is None:
@@ -90,6 +100,14 @@ class SystemConfig:
                     f"got {self.demod_chunk_half_frames!r}"
                 )
             self.demod_chunk_half_frames = int(self.demod_chunk_half_frames)
+        if self.window_snr_gate_db is not None:
+            self.window_snr_gate_db = float(self.window_snr_gate_db)
+        if int(self.sync_resync_attempts) < 0:
+            raise ValueError(
+                f"sync_resync_attempts must be >= 0, "
+                f"got {self.sync_resync_attempts!r}"
+            )
+        self.sync_resync_attempts = int(self.sync_resync_attempts)
 
     @property
     def params(self):

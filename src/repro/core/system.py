@@ -116,6 +116,7 @@ class LScatterSystem:
         self.demodulator = BackscatterDemodulator(
             self.params,
             erasure_threshold=getattr(self.config, "erasure_threshold", None),
+            snr_gate_db=getattr(self.config, "window_snr_gate_db", None),
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -149,7 +150,14 @@ class LScatterSystem:
         if config.sync_error_samples is not None:
             return int(config.sync_error_samples), None
         if config.sync_mode == "circuit":
-            circuit = SyncCircuit(fs, rng=rng, edge_fault=edge_fault)
+            circuit = SyncCircuit(
+                fs,
+                rng=rng,
+                edge_fault=edge_fault,
+                max_resync_attempts=getattr(
+                    config, "sync_resync_attempts", 0
+                ),
+            )
             result = circuit.process(ambient_at_tag)
             if len(result.edges) == 0:
                 return None, result
@@ -298,9 +306,13 @@ class LScatterSystem:
         # simulation streams above — an all-zero plan is a bit-identical
         # no-op by construction.
         fault_plan = getattr(config, "faults", None)
-        carrier_faults = (
-            CarrierFaultSet(fault_plan) if fault_plan is not None else None
-        )
+        if fault_plan is None:
+            carrier_faults = None
+        elif hasattr(fault_plan, "carrier_fault_set"):
+            # StressPlan stacks scenario stressors on the base injectors.
+            carrier_faults = fault_plan.carrier_fault_set()
+        else:
+            carrier_faults = CarrierFaultSet(fault_plan)
         edge_fault = (
             TagFaultInjector(fault_plan.tag, rng=fault_plan.rng_for("tag"))
             if fault_plan is not None
@@ -385,7 +397,14 @@ class LScatterSystem:
             if carrier_faults is not None:
                 # Jammer bursts, impulsive noise and ADC clipping hit the
                 # backscatter band's receive chain, where the signal is weakest.
-                shifted_rx = carrier_faults.apply_backscatter(shifted_rx)
+                # Stress sets that model co-channel tags additionally need
+                # the ambient the interferers would themselves reflect.
+                if getattr(carrier_faults, "wants_ambient", False):
+                    shifted_rx = carrier_faults.apply_backscatter(
+                        shifted_rx, ambient=ambient_at_tag
+                    )
+                else:
+                    shifted_rx = carrier_faults.apply_backscatter(shifted_rx)
             direct_rx = direct_link.apply(unit)
             # Structural (unmodulated, in-band) tag reflection leaks into the
             # direct band as weak extra multipath.
@@ -460,6 +479,7 @@ class LScatterSystem:
                     self.params,
                     chunk_half_frames=chunk,
                     erasure_threshold=self.demodulator.erasure_threshold,
+                    snr_gate_db=self.demodulator.snr_gate_db,
                 )
                 demod = streamer.demodulate(
                     front.shifted_rx, front.reference, front.half_starts

@@ -30,6 +30,7 @@ _EXPERIMENTS = {
     "power": ("repro.experiments.power_table", "Tag power consumption (§4.8)"),
     "fleetn": ("repro.experiments.fleet_scaling", "Network throughput vs. tag count"),
     "netgrid": ("repro.experiments.netgrid", "Multi-cell goodput vs ISD / interferers"),
+    "stressgrid": ("repro.experiments.stressgrid", "Goodput vs attack intensity per stress scenario"),
 }
 
 REGISTRY = dict(_EXPERIMENTS)

@@ -31,6 +31,11 @@ def _check_unit(name, value):
         raise ValueError(f"{name} must be in [0, 1], got {value!r}")
 
 
+def _check_nonnegative(name, value):
+    if not float(value) >= 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
 @dataclass(frozen=True)
 class CarrierFaults:
     """Impairments of the ambient carrier and the receiver front end."""
@@ -57,6 +62,8 @@ class CarrierFaults:
         _check_unit("jammer_severity", self.jammer_severity)
         _check_unit("impulse_rate", self.impulse_rate)
         _check_unit("clip_severity", self.clip_severity)
+        _check_nonnegative("jammer_amplitude", self.jammer_amplitude)
+        _check_nonnegative("impulse_amplitude", self.impulse_amplitude)
         if self.dropout_windows < 1 or self.jammer_bursts < 1:
             raise ValueError("window/burst counts must be >= 1")
 
@@ -132,6 +139,17 @@ class FaultPlan:
         ``(name, plan seed)`` — not on severity or call order.
         """
         return make_rng(f"lscatter-fault:{name}:{int(self.seed)}")
+
+    def carrier_fault_set(self):
+        """The carrier injector set the pipeline applies for this plan.
+
+        Subclasses (:class:`repro.stress.StressPlan`) override this to
+        stack scenario stressors on top of the base carrier injectors
+        without the pipeline knowing the difference.
+        """
+        from repro.faults.carrier import CarrierFaultSet
+
+        return CarrierFaultSet(self)
 
     @classmethod
     def none(cls, seed=0):

@@ -83,10 +83,21 @@ class PriorityScheme:
 
     name = "priority"
 
-    def __init__(self, weights=None):
+    def __init__(self, weights=None, congestion_backoff=False, max_backoff_slots=16):
         #: Tag name -> positive integer weight; unknown tags default to 1.
         self.weights = dict(weights or {})
         self._credits = {}
+        #: MAC-level congestion backoff: when the cell reports congestion
+        #: (a signalling storm or PDSCH burst eating the idle half-frames
+        #: tags harvest), the whole fleet yields the channel for a bounded
+        #: exponentially-growing number of slots instead of burning energy
+        #: on doomed packets.  Off by default (legacy bit-identical).
+        self.congestion_backoff = bool(congestion_backoff)
+        self.max_backoff_slots = int(max_backoff_slots)
+        if self.max_backoff_slots < 1:
+            raise ValueError("max_backoff_slots must be >= 1")
+        self._backoff_slots = 0
+        self._resume_slot = 0
 
     def _weight(self, name):
         weight = self.weights.get(name, 1)
@@ -94,7 +105,36 @@ class PriorityScheme:
             raise ValueError(f"priority weight for {name!r} must be positive")
         return weight
 
+    def observe_congestion(self, slot_index, congested):
+        """Feed one slot's congestion signal into the backoff state.
+
+        Each congested observation doubles the yield window (bounded at
+        :attr:`max_backoff_slots`); a clean observation resets it, so the
+        scheme recovers immediately once the storm passes.
+        """
+        if not self.congestion_backoff:
+            return
+        if congested:
+            self._backoff_slots = min(
+                self.max_backoff_slots, max(1, self._backoff_slots * 2)
+            )
+            self._resume_slot = int(slot_index) + 1 + self._backoff_slots
+        else:
+            self._backoff_slots = 0
+            self._resume_slot = 0
+
+    @property
+    def backing_off(self):
+        return self._backoff_slots > 0
+
+    @property
+    def backoff_slots(self):
+        """Current yield-window length (always <= max_backoff_slots)."""
+        return self._backoff_slots
+
     def transmitters(self, slot_index, tag_names, rng):
+        if self.congestion_backoff and slot_index < self._resume_slot:
+            return []
         total = sum(self._weight(name) for name in tag_names)
         for name in tag_names:
             self._credits[name] = self._credits.get(name, 0) + self._weight(name)

@@ -1,0 +1,338 @@
+"""The stress harness: sweep attack intensity into degradation curves.
+
+``repro stress`` drives four experiments per report (``STRESS_PR8.json``):
+
+1. **No-op contract** — every scenario at intensity 0 must be
+   bit-identical to a run with no plan at all: same metrics, same
+   received IQ.  Inherited from the :mod:`repro.faults` contract via
+   :class:`~repro.stress.plan.StressPlan`.
+2. **Degradation sweeps** — each scenario's intensity is swept from 0 to
+   ``max_intensity`` with erasure marking and the per-window SNR gate on.
+   Stressor placement is intensity-independent and coverage nests (see
+   :mod:`repro.stress.stressors`), so goodput is monotone non-increasing
+   by construction — the harness still verifies it point by point, and
+   ``repro stress`` exits non-zero when it does not hold.
+3. **Sync probes** — the sync-coupled scenarios (PSS jammer, signalling
+   storm) re-run at full intensity with the real comparator circuit, once
+   without and once with the adaptive re-sync budget, reporting sync loss
+   and the retries consumed.  Threshold-y, so reported but not gated
+   (the chaos suite treats clock drift the same way).
+4. **Graceful degradation** — the three mitigations under load: adaptive
+   re-sync stays within its bounded budget, MAC congestion backoff yields
+   during a storm with bounded quiet time and resumes after it, and ARQ
+   over an erasure channel delivers bit-exact payloads with bounded
+   retransmissions across the whole intensity sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.system import LScatterSystem
+from repro.link.arq import BitErrorChannel, ErasureChannel, SelectiveRepeatArq
+from repro.mac.schemes import PriorityScheme
+from repro.stress.scenarios import SCENARIOS, SYNC_COUPLED, make_scenario_plan
+from repro.utils.rng import make_rng
+
+#: Preamble mis-slice fraction above which a packet's windows are erased.
+STRESS_ERASURE_THRESHOLD = 0.35
+
+#: Per-window SNR-gate (dB): data windows whose post-detection SNR proxy
+#: falls below this escalate to erasures (see :mod:`repro.bsrx`).
+STRESS_SNR_GATE_DB = 0.0
+
+#: Adaptive re-sync retry budget used by the sync probes.
+RESYNC_BUDGET = 3
+
+
+def _config(smoke, plan=None, erasures=True, **overrides):
+    kwargs = dict(
+        bandwidth_mhz=1.4,
+        n_frames=2 if smoke else 4,
+        reference_mode="genie",
+        sync_mode="model",
+        faults=plan,
+        erasure_threshold=STRESS_ERASURE_THRESHOLD if erasures else None,
+        window_snr_gate_db=STRESS_SNR_GATE_DB if erasures else None,
+    )
+    kwargs.update(overrides)
+    return SystemConfig(**kwargs)
+
+
+def _params(smoke):
+    """The LteParams the scenario stressors are built against."""
+    return _config(smoke).params
+
+
+def _json_float(value):
+    value = float(value)
+    return None if math.isnan(value) else value
+
+
+def _run_point(config, seed, payload_length, artifacts=False):
+    system = LScatterSystem(config, rng=seed)
+    return system.run(payload_length=payload_length, artifacts=artifacts)
+
+
+def _point_record(intensity, report):
+    return {
+        "intensity": float(intensity),
+        "n_bits": int(report.n_bits),
+        "n_errors": int(report.n_errors),
+        "ber": _json_float(report.ber),
+        "goodput_bps": _json_float(report.throughput_bps),
+        "n_windows": int(report.n_windows),
+        "n_lost_windows": int(report.n_lost_windows),
+        "n_erased_windows": int(report.n_erased_windows),
+        "sync_failed": bool(report.sync_failed),
+    }
+
+
+def _noop_contract(scenario, smoke, seed, payload_length):
+    """Zero-intensity scenario plan vs no plan: bit-identical, or bust."""
+    clean = _run_point(
+        _config(smoke, plan=None, erasures=False),
+        seed, payload_length, artifacts=True,
+    )
+    plan = make_scenario_plan(scenario, 0.0, _params(smoke), seed=seed)
+    zeroed = _run_point(
+        _config(smoke, plan=plan, erasures=False),
+        seed, payload_length, artifacts=True,
+    )
+    a = clean.extras["artifacts"]
+    b = zeroed.extras["artifacts"]
+    iq_identical = bool(
+        np.array_equal(a.shifted_rx, b.shifted_rx)
+        and np.array_equal(a.direct_rx, b.direct_rx)
+    )
+    metrics_identical = (
+        clean.n_bits == zeroed.n_bits
+        and clean.n_errors == zeroed.n_errors
+        and clean.n_windows == zeroed.n_windows
+        and clean.n_lost_windows == zeroed.n_lost_windows
+    )
+    return {
+        "scenario": scenario,
+        "iq_identical": iq_identical,
+        "metrics_identical": bool(metrics_identical),
+        "passed": bool(iq_identical and metrics_identical),
+    }
+
+
+def _sweep(scenario, intensities, smoke, seed, payload_length):
+    points = []
+    params = _params(smoke)
+    for intensity in intensities:
+        plan = (
+            make_scenario_plan(scenario, intensity, params, seed=seed)
+            if intensity > 0
+            else None
+        )
+        report = _run_point(_config(smoke, plan=plan), seed, payload_length)
+        points.append(_point_record(intensity, report))
+    goodputs = [p["goodput_bps"] or 0.0 for p in points]
+    monotone = all(
+        later <= earlier + 1e-9 for earlier, later in zip(goodputs, goodputs[1:])
+    )
+    return {
+        "scenario": scenario,
+        "points": points,
+        "monotone_goodput": bool(monotone),
+        "monotone_required": True,
+    }
+
+
+def _sync_probe(scenario, max_intensity, smoke, seed, payload_length):
+    """Full-intensity attack against the real comparator circuit.
+
+    Runs the scenario twice in ``sync_mode="circuit"`` — legacy
+    single-pass, then with the adaptive re-sync budget — and reports
+    whether sync survived and how many retries that took.  The attempt
+    count must stay within the budget (bounded backoff); whether sync
+    *recovers* depends on how deep the attack buries the PSS boost, so
+    recovery is reported, not gated.
+    """
+    params = _params(smoke)
+    plan = make_scenario_plan(scenario, max_intensity, params, seed=seed)
+    records = {}
+    for label, budget in (("single-pass", 0), ("adaptive", RESYNC_BUDGET)):
+        config = _config(
+            smoke, plan=plan, sync_mode="circuit", sync_resync_attempts=budget
+        )
+        report = _run_point(config, seed, payload_length, artifacts=True)
+        sync = report.extras["artifacts"].sync_result
+        records[label] = {
+            "sync_failed": bool(report.sync_failed),
+            "resync_attempts": int(getattr(sync, "resync_attempts", 0)),
+            "threshold_margin": _json_float(
+                getattr(sync, "threshold_margin", 0.0)
+            ),
+            "goodput_bps": _json_float(report.throughput_bps),
+        }
+    bounded = records["adaptive"]["resync_attempts"] <= RESYNC_BUDGET
+    recovered = (
+        records["single-pass"]["sync_failed"]
+        and not records["adaptive"]["sync_failed"]
+    )
+    return {
+        "scenario": scenario,
+        "intensity": float(max_intensity),
+        "single_pass": records["single-pass"],
+        "adaptive": records["adaptive"],
+        "attempts_bounded": bool(bounded),
+        "resync_recovered": bool(recovered),
+    }
+
+
+def _mac_backoff_probe(n_slots=400, storm=(100, 220), max_backoff_slots=8):
+    """Congestion backoff through a storm: yield, stay bounded, resume."""
+    scheme = PriorityScheme(
+        congestion_backoff=True, max_backoff_slots=max_backoff_slots
+    )
+    tags = ["tag00", "tag01"]
+    rng = make_rng("stress-mac")
+    transmitted_before = transmitted_during = transmitted_after = 0
+    max_backoff_seen = 0
+    first_resume = None
+    for slot in range(n_slots):
+        congested = storm[0] <= slot < storm[1]
+        active = scheme.transmitters(slot, tags, rng)
+        scheme.observe_congestion(slot, congested)
+        max_backoff_seen = max(max_backoff_seen, scheme.backoff_slots)
+        if active:
+            if slot < storm[0]:
+                transmitted_before += 1
+            elif slot < storm[1]:
+                transmitted_during += 1
+            else:
+                transmitted_after += 1
+                if first_resume is None:
+                    first_resume = slot
+    recovery_latency = (
+        first_resume - storm[1] if first_resume is not None else n_slots
+    )
+    return {
+        "n_slots": n_slots,
+        "storm_slots": list(storm),
+        "max_backoff_slots": max_backoff_slots,
+        "transmitted_before": transmitted_before,
+        "transmitted_during_storm": transmitted_during,
+        "transmitted_after": transmitted_after,
+        "max_backoff_seen": max_backoff_seen,
+        "recovery_latency_slots": recovery_latency,
+        # Bounded: the yield window never exceeds the cap, so however long
+        # the storm lasts the fleet re-probes within max_backoff_slots of
+        # its end; graceful: it yields during the storm yet resumes after.
+        "passed": bool(
+            max_backoff_seen <= max_backoff_slots
+            and recovery_latency <= max_backoff_slots + 1
+            and transmitted_during < (storm[1] - storm[0])
+            and transmitted_after > 0
+        ),
+    }
+
+
+def _arq_jamming_probe(intensities, seed, payload_bits=4096):
+    """ARQ over a jammed erasure pipe: bit-exact, bounded retransmissions."""
+    rng = make_rng(f"stress-arq:{seed}")
+    payload = rng.integers(0, 2, size=payload_bits).astype(np.int8)
+    arq = SelectiveRepeatArq(mtu_bits=256, window=8, max_rounds=500)
+    points = []
+    all_exact = True
+    all_bounded = True
+    for intensity in intensities:
+        channel = ErasureChannel(
+            BitErrorChannel(0.002 * intensity, rng=make_rng(f"ber:{intensity}")),
+            erasure_rate=0.5 * intensity,
+            rng=make_rng(f"erase:{intensity}"),
+        )
+        recovered, report = arq.deliver(payload, channel)
+        exact = bool(np.array_equal(recovered, payload))
+        overhead = report.retransmission_overhead
+        bounded = math.isfinite(overhead) and report.rounds <= arq.max_rounds
+        all_exact &= exact
+        all_bounded &= bounded
+        points.append({
+            "intensity": float(intensity),
+            "frames_sent": int(report.frames_sent),
+            "erased_frames": int(channel.erased_frames),
+            "retransmission_overhead": _json_float(overhead),
+            "bit_exact": exact,
+        })
+    return {
+        "payload_bits": payload_bits,
+        "points": points,
+        "all_bit_exact": bool(all_exact),
+        "all_bounded": bool(all_bounded),
+        "passed": bool(all_exact and all_bounded),
+    }
+
+
+def run_stress(
+    output="STRESS_PR8.json",
+    smoke=False,
+    seed=0,
+    max_intensity=1.0,
+    scenarios=None,
+):
+    """Run the stress suite; writes ``output`` and returns the report dict."""
+    scenarios = list(scenarios) if scenarios else list(SCENARIOS)
+    for scenario in scenarios:
+        if scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown stress scenario {scenario!r}; choose from {SCENARIOS}"
+            )
+    fractions = (0.0, 0.5, 1.0) if smoke else (0.0, 0.25, 0.5, 0.75, 1.0)
+    intensities = [f * float(max_intensity) for f in fractions]
+    payload_length = 6000 if smoke else 20000
+
+    report = {
+        "meta": {
+            "mode": "smoke" if smoke else "full",
+            "seed": int(seed),
+            "max_intensity": float(max_intensity),
+            "scenarios": scenarios,
+            "erasure_threshold": STRESS_ERASURE_THRESHOLD,
+            "snr_gate_db": STRESS_SNR_GATE_DB,
+            "payload_length": payload_length,
+        },
+        "noop_contracts": [
+            _noop_contract(s, smoke, seed, payload_length) for s in scenarios
+        ],
+        "sweeps": [
+            _sweep(s, intensities, smoke, seed, payload_length)
+            for s in scenarios
+        ],
+        "sync_probes": [
+            _sync_probe(s, float(max_intensity), smoke, seed, payload_length)
+            for s in scenarios
+            if s in SYNC_COUPLED
+        ],
+        "degradation": {
+            "mac_backoff": _mac_backoff_probe(),
+            "arq_jamming": _arq_jamming_probe(intensities, seed),
+        },
+    }
+
+    checks = [c["passed"] for c in report["noop_contracts"]]
+    checks += [
+        s["monotone_goodput"] for s in report["sweeps"] if s["monotone_required"]
+    ]
+    checks += [p["attempts_bounded"] for p in report["sync_probes"]]
+    checks.append(report["degradation"]["mac_backoff"]["passed"])
+    checks.append(report["degradation"]["arq_jamming"]["passed"])
+    report["passed"] = bool(all(checks))
+
+    if output:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return report

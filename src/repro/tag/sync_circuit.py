@@ -26,6 +26,14 @@ COMPARATOR_DELAY_SECONDS = 12e-6
 #: overdrive dependence and RC charge-state variation between frames.
 COMPARATOR_JITTER_SECONDS = 2.5e-6
 
+#: Adaptive re-sync: each retry multiplies the threshold margin by this
+#: factor (bounded exponential backoff towards ``MIN_THRESHOLD_MARGIN``).
+RESYNC_MARGIN_BACKOFF = 0.75
+
+#: The margin never relaxes below this — at 1.0 the comparator would fire
+#: on every envelope ripple and the edge train would be pure chatter.
+MIN_THRESHOLD_MARGIN = 1.05
+
 
 @dataclass
 class SyncResult:
@@ -36,6 +44,10 @@ class SyncResult:
     average: np.ndarray
     comparator: np.ndarray  # 0/1 logic output per sample
     edges: np.ndarray  # sample indices of rising edges
+    #: Re-sync retries consumed before edges were found (0 = first pass).
+    resync_attempts: int = 0
+    #: The threshold margin the successful (or final) pass used.
+    threshold_margin: float = 0.0
 
     @property
     def edge_times(self):
@@ -75,6 +87,7 @@ class SyncCircuit:
         warmup_seconds=12e-3,
         rng=None,
         edge_fault=None,
+        max_resync_attempts=0,
     ):
         self.sample_rate_hz = float(sample_rate_hz)
         self.detector = detector or EnvelopeDetector(sample_rate_hz)
@@ -93,15 +106,18 @@ class SyncCircuit:
         #: the edge train the controller folds.  Carries its own RNG — a
         #: zero-rate injector leaves the circuit bit-identical.
         self.edge_fault = edge_fault
+        #: Adaptive re-sync: when the comparator finds no edges at all
+        #: (a jammed or storm-raised envelope floor buries the PSS boost),
+        #: retry up to this many times with the threshold margin relaxed
+        #: geometrically (bounded exponential backoff,
+        #: ``margin * RESYNC_MARGIN_BACKOFF**k`` floored at
+        #: ``MIN_THRESHOLD_MARGIN``).  0 (the default) keeps the legacy
+        #: single-pass behaviour bit-identical.
+        self.max_resync_attempts = int(max_resync_attempts)
 
-    def process(self, samples):
-        """Run the circuit over a tag-side capture; returns a SyncResult."""
-        trace = self.detector.detect(samples)
-        envelope = trace.envelope
-        alpha = rc_alpha(self.average_tau_seconds, self.sample_rate_hz)
-        average = rc_lowpass(envelope, alpha)
-
-        comparator = (envelope > average * self.threshold_margin).astype(np.int8)
+    def _comparator_edges(self, envelope, average, margin):
+        """Comparator + warmup + debounce for one threshold margin."""
+        comparator = (envelope > average * margin).astype(np.int8)
         edges = np.flatnonzero(np.diff(comparator) > 0) + 1
         warmup = int(self.warmup_seconds * self.sample_rate_hz)
         edges = edges[edges >= warmup]
@@ -115,7 +131,31 @@ class SyncCircuit:
             if edge - last > holdoff:
                 accepted.append(edge)
                 last = edge
-        accepted = np.array(accepted, dtype=np.int64)
+        return comparator, np.array(accepted, dtype=np.int64)
+
+    def process(self, samples):
+        """Run the circuit over a tag-side capture; returns a SyncResult."""
+        trace = self.detector.detect(samples)
+        envelope = trace.envelope
+        alpha = rc_alpha(self.average_tau_seconds, self.sample_rate_hz)
+        average = rc_lowpass(envelope, alpha)
+
+        # First pass at the configured margin; adaptive re-sync relaxes it
+        # geometrically only when the pass found nothing, so a clean
+        # capture's result is bit-identical whatever the attempt budget.
+        margin = self.threshold_margin
+        attempts = 0
+        comparator, accepted = self._comparator_edges(envelope, average, margin)
+        while len(accepted) == 0 and attempts < self.max_resync_attempts:
+            attempts += 1
+            margin = max(
+                MIN_THRESHOLD_MARGIN, margin * RESYNC_MARGIN_BACKOFF
+            )
+            comparator, accepted = self._comparator_edges(
+                envelope, average, margin
+            )
+            if margin == MIN_THRESHOLD_MARGIN:
+                break
 
         # Comparator propagation delay + jitter move the logic edge later.
         if len(accepted):
@@ -139,4 +179,6 @@ class SyncCircuit:
             average=average,
             comparator=comparator,
             edges=accepted,
+            resync_attempts=attempts,
+            threshold_margin=float(margin),
         )

@@ -14,6 +14,40 @@ import numpy as np
 from repro.utils.rng import make_rng
 
 
+def nested_busy_mask(n, fraction, n_bursts, rng):
+    """Boolean mask covering ``fraction`` of ``n`` samples in bursts, nested.
+
+    Burst centres are drawn from ``rng`` with a draw count that does not
+    depend on ``fraction``, and each burst grows symmetrically about its
+    centre as ``fraction`` rises — so for a fixed ``rng`` stream the mask
+    at a lower fraction is a strict subset of the mask at a higher one
+    (wrapping at the ends).  This is the placement idiom that makes the
+    :mod:`repro.stress` degradation curves monotone by construction.
+
+    ``fraction == 0`` returns an all-``False`` mask but still consumes the
+    same draws, keeping sweep points aligned.
+    """
+    n = int(n)
+    n_bursts = int(n_bursts)
+    if n_bursts < 1:
+        raise ValueError("n_bursts must be >= 1")
+    if not 0.0 <= float(fraction) <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+    # Placement draws first, severity-independent count.
+    centres = np.sort(rng.integers(0, max(n, 1), size=n_bursts))
+    mask = np.zeros(n, dtype=bool)
+    if n == 0 or fraction == 0.0:
+        return mask
+    per_burst = int(np.ceil(fraction * n / n_bursts))
+    half = per_burst // 2
+    for centre in centres:
+        lo = int(centre) - half
+        hi = lo + per_burst
+        idx = np.arange(lo, hi) % n
+        mask[idx] = True
+    return mask
+
+
 @dataclass
 class BusyInterval:
     """One carrier-present interval [start, end) in seconds."""

@@ -154,3 +154,12 @@ def test_file_corruptors(tmp_path):
     assert sum(a != b for a, b in zip(flipped, payload)) == 1
     truncate_file(str(path), n_bytes=100)
     assert path.stat().st_size == 100
+
+
+def test_negative_amplitudes_rejected():
+    with pytest.raises(ValueError, match="jammer_amplitude"):
+        CarrierFaults(jammer_amplitude=-1.0)
+    with pytest.raises(ValueError, match="impulse_amplitude"):
+        CarrierFaults(impulse_amplitude=-0.5)
+    # Zero stays legal: an amplitude-0 jammer is just a silent one.
+    CarrierFaults(jammer_amplitude=0.0, impulse_amplitude=0.0)

@@ -109,3 +109,52 @@ def test_iq_collision_capture_at_advantage():
 def test_iq_collision_monotone_in_advantage():
     bers = [two_tag_collision(adv, seed=2).strong_tag_ber for adv in (0, 6, 15)]
     assert bers[0] > bers[1] >= bers[2]
+
+
+def test_priority_backoff_disabled_by_default():
+    """Legacy behaviour is bit-identical: congestion signals are ignored."""
+    plain = PriorityScheme(weights={"a": 2})
+    noisy = PriorityScheme(weights={"a": 2})
+    names = ["a", "b"]
+    grants_plain, grants_noisy = [], []
+    for slot in range(20):
+        grants_plain.append(plain.transmitters(slot, names, None))
+        grants_noisy.append(noisy.transmitters(slot, names, None))
+        noisy.observe_congestion(slot, congested=True)
+    assert grants_plain == grants_noisy
+    assert not noisy.backing_off
+
+
+def test_priority_backoff_doubles_and_saturates():
+    scheme = PriorityScheme(congestion_backoff=True, max_backoff_slots=8)
+    seen = []
+    for slot in range(6):
+        scheme.observe_congestion(slot, congested=True)
+        seen.append(scheme.backoff_slots)
+    # 1, 2, 4, 8, then pinned at the cap.
+    assert seen == [1, 2, 4, 8, 8, 8]
+    scheme.observe_congestion(6, congested=False)
+    assert scheme.backoff_slots == 0
+    assert not scheme.backing_off
+
+
+def test_priority_backoff_yields_then_resumes():
+    scheme = PriorityScheme(congestion_backoff=True, max_backoff_slots=4)
+    names = ["a", "b"]
+    assert scheme.transmitters(0, names, None)  # clean slot: grants flow
+    scheme.observe_congestion(0, congested=True)
+    assert scheme.transmitters(1, names, None) == []  # yielding
+    # Storm ends but the yield window must still expire on its own: the
+    # fleet cannot observe a clean slot while it is not transmitting.
+    resumed = None
+    for slot in range(2, 12):
+        if scheme.transmitters(slot, names, None):
+            resumed = slot
+            break
+    assert resumed is not None
+    assert resumed - 1 <= scheme.max_backoff_slots + 1
+
+
+def test_priority_backoff_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        PriorityScheme(congestion_backoff=True, max_backoff_slots=0)

@@ -1,0 +1,126 @@
+"""StressPlan / StressFaultSet contracts and scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.faults.carrier import CarrierFaultSet
+from repro.lte.params import LteParams
+from repro.stress import (
+    SCENARIOS,
+    SYNC_COUPLED,
+    StressFaultSet,
+    StressPlan,
+    make_scenario_plan,
+)
+from repro.stress.stressors import SweepJammer, TagMob
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def params():
+    return LteParams.from_bandwidth(1.4)
+
+
+@pytest.fixture(scope="module")
+def samples(params):
+    rng = make_rng(3)
+    n = params.samples_per_frame
+    return (rng.normal(size=n) + 1j * rng.normal(size=n)) / np.sqrt(2)
+
+
+def test_registry_covers_all_scenarios(params):
+    assert len(SCENARIOS) == 6
+    assert SYNC_COUPLED <= set(SCENARIOS)
+    for scenario in SCENARIOS:
+        plan = make_scenario_plan(scenario, 0.5, params, seed=4)
+        assert plan.scenario == scenario
+        assert plan.intensity == 0.5
+        assert len(plan.stressors) == 1
+        assert plan.stressors[0].name == scenario
+
+
+def test_unknown_scenario_raises(params):
+    with pytest.raises(ValueError, match="unknown stress scenario"):
+        make_scenario_plan("nope", 0.5, params)
+
+
+def test_intensity_validated(params):
+    with pytest.raises(ValueError):
+        make_scenario_plan("sweep-jammer", 1.5, params)
+    with pytest.raises(ValueError):
+        StressPlan(intensity=-0.1)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_zero_intensity_plan_is_noop(scenario, params):
+    plan = make_scenario_plan(scenario, 0.0, params)
+    assert plan.is_noop
+    fault_set = plan.carrier_fault_set()
+    assert isinstance(fault_set, StressFaultSet)
+    assert not fault_set.active
+    assert not fault_set.wants_ambient
+
+
+def test_active_plan_is_not_noop(params):
+    plan = make_scenario_plan("sweep-jammer", 0.5, params)
+    assert not plan.is_noop
+    assert plan.carrier_fault_set().active
+
+
+def test_polymorphic_fault_set_dispatch(params):
+    """The pipeline builds a StressFaultSet without importing stress."""
+    stress = make_scenario_plan("sweep-jammer", 0.5, params)
+    assert type(stress.carrier_fault_set()) is StressFaultSet
+    from repro.faults.plan import FaultPlan
+
+    assert type(FaultPlan().carrier_fault_set()) is CarrierFaultSet
+
+
+def test_wants_ambient_only_for_active_tag_mob(params):
+    mob = StressPlan(stressors=(TagMob(0.5, params),))
+    assert mob.carrier_fault_set().wants_ambient
+    idle_mob = StressPlan(stressors=(TagMob(0.0, params),))
+    assert not idle_mob.carrier_fault_set().wants_ambient
+    jammer = StressPlan(stressors=(SweepJammer(0.5, params),))
+    assert not jammer.carrier_fault_set().wants_ambient
+
+
+def test_noop_fault_set_returns_same_objects(params, samples):
+    fault_set = make_scenario_plan("sweep-jammer", 0.0, params).carrier_fault_set()
+    assert fault_set.apply_ambient(samples) is samples
+    assert fault_set.apply_backscatter(samples) is samples
+
+
+def test_hooks_route_stressors(params, samples):
+    """Ambient stressors touch the ambient hook only, and vice versa."""
+    storm = make_scenario_plan("signalling-storm", 1.0, params).carrier_fault_set()
+    assert np.any(storm.apply_ambient(samples) != samples)
+    assert storm.apply_backscatter(samples) is samples
+
+    jammer = make_scenario_plan("sweep-jammer", 1.0, params).carrier_fault_set()
+    assert jammer.apply_ambient(samples) is samples
+    assert np.any(jammer.apply_backscatter(samples) != samples)
+
+
+def test_stressor_rng_is_deterministic_per_plan_seed(params, samples):
+    out1 = make_scenario_plan(
+        "sweep-jammer", 0.7, params, seed=9
+    ).carrier_fault_set().apply_backscatter(samples)
+    out2 = make_scenario_plan(
+        "sweep-jammer", 0.7, params, seed=9
+    ).carrier_fault_set().apply_backscatter(samples)
+    out3 = make_scenario_plan(
+        "sweep-jammer", 0.7, params, seed=10
+    ).carrier_fault_set().apply_backscatter(samples)
+    np.testing.assert_array_equal(out1, out2)
+    assert np.any(out1 != out3)
+
+
+def test_tag_mob_receives_ambient(params, samples):
+    """apply_backscatter(ambient=...) reaches the ghosts' reflection."""
+    fault_set = make_scenario_plan("tag-mob", 1.0, params).carrier_fault_set()
+    ambient = 2.0 * samples
+    with_ambient = fault_set.apply_backscatter(samples, ambient=ambient)
+    fallback = fault_set.apply_backscatter(samples)
+    assert np.any(with_ambient != samples)
+    assert np.any(fallback != samples)

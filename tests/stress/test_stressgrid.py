@@ -1,0 +1,89 @@
+"""stressgrid campaign protocol: grid shape, pure points, gates."""
+
+import pytest
+
+from repro.experiments import stressgrid
+from repro.experiments.registry import REGISTRY
+from repro.stress.scenarios import SCENARIOS
+
+
+def test_registered():
+    assert "stressgrid" in REGISTRY
+
+
+def test_campaign_grid_shapes():
+    full = stressgrid.campaign_points(seed=0, smoke=False)
+    assert len(full) == len(SCENARIOS) * len(stressgrid.INTENSITY_GRID) == 30
+    smoke = stressgrid.campaign_points(seed=0, smoke=True)
+    assert len(smoke) == 6
+    for point in smoke:
+        assert point["smoke"] is True
+        assert point["scenario"] in stressgrid.SMOKE_SCENARIOS
+    # Every cell is unique and JSON-plain (the checkpoint key).
+    keys = [(p["scenario"], p["intensity"]) for p in full]
+    assert len(set(keys)) == len(keys)
+
+
+def test_run_point_row_fields():
+    row = stressgrid.run_point(
+        {"scenario": "sweep-jammer", "intensity": 0.5, "smoke": True}, seed=0
+    )
+    assert row["scenario"] == "sweep-jammer"
+    assert row["intensity"] == 0.5
+    assert row["goodput_kbps"] > 0
+    assert 0.0 <= row["ber"] <= 1.0
+    assert row["n_erased_windows"] >= 0
+    assert "noop_identical" not in row  # only the intensity-0 cell checks it
+
+
+def _rows(goodputs, bers=None, scenario="sweep-jammer", noop=True):
+    bers = bers if bers is not None else [0.0] * len(goodputs)
+    rows = []
+    for i, (goodput, ber) in enumerate(zip(goodputs, bers)):
+        row = {
+            "scenario": scenario,
+            "intensity": i / max(len(goodputs) - 1, 1),
+            "goodput_kbps": goodput,
+            "ber": ber,
+            "n_erased_windows": 0,
+            "sync_failed": False,
+        }
+        if row["intensity"] == 0.0:
+            row["noop_identical"] = noop
+        rows.append(row)
+    return rows
+
+
+def test_aggregate_accepts_monotone_rows():
+    result = stressgrid.aggregate(_rows([500.0, 400.0, 300.0]))
+    assert result.name == "stressgrid"
+    assert [row["goodput_kbps"] for row in result.rows] == [500.0, 400.0, 300.0]
+
+
+def test_aggregate_allows_flat_curves_within_slack():
+    stressgrid.aggregate(_rows([500.0, 500.0, 500.0]))
+
+
+def test_gate_trips_on_goodput_rise():
+    with pytest.raises(stressgrid.MonotoneGateError, match="goodput rose"):
+        stressgrid.aggregate(_rows([500.0, 400.0, 450.0]))
+
+
+def test_gate_trips_on_ber_fall():
+    with pytest.raises(stressgrid.MonotoneGateError, match="BER fell"):
+        stressgrid.aggregate(
+            _rows([500.0, 400.0, 300.0], bers=[0.0, 0.2, 0.1])
+        )
+
+
+def test_gate_trips_on_broken_noop():
+    with pytest.raises(stressgrid.NoopGateError, match="not.*bit-identical"):
+        stressgrid.aggregate(_rows([500.0, 400.0], noop=False))
+
+
+def test_gate_is_per_scenario():
+    """A rise across scenario boundaries is fine; within one, it is not."""
+    rows = _rows([500.0, 400.0], scenario="sweep-jammer")
+    rows += _rows([600.0, 450.0], scenario="bursty-pdsch")
+    result = stressgrid.aggregate(rows)
+    assert len(result.rows) == 4

@@ -1,0 +1,67 @@
+"""Stress harness probes and a one-scenario smoke run of the suite."""
+
+import json
+
+import pytest
+
+from repro.stress.suite import (
+    RESYNC_BUDGET,
+    _arq_jamming_probe,
+    _mac_backoff_probe,
+    run_stress,
+)
+
+
+def test_mac_backoff_probe_passes():
+    result = _mac_backoff_probe()
+    assert result["passed"]
+    assert result["max_backoff_seen"] <= result["max_backoff_slots"]
+    assert result["transmitted_after"] > 0
+    storm_len = result["storm_slots"][1] - result["storm_slots"][0]
+    assert result["transmitted_during_storm"] < storm_len
+    assert result["recovery_latency_slots"] <= result["max_backoff_slots"] + 1
+
+
+def test_arq_jamming_probe_bit_exact_across_sweep():
+    result = _arq_jamming_probe([0.0, 0.5, 1.0], seed=0, payload_bits=2048)
+    assert result["passed"]
+    assert result["all_bit_exact"]
+    assert result["all_bounded"]
+    points = result["points"]
+    # Jamming costs frames: the jammed points retransmit more than clean.
+    assert points[-1]["frames_sent"] > points[0]["frames_sent"]
+    assert points[0]["erased_frames"] == 0
+    assert points[-1]["erased_frames"] > 0
+
+
+def test_run_stress_rejects_unknown_scenario(tmp_path):
+    with pytest.raises(ValueError, match="unknown stress scenario"):
+        run_stress(output=None, smoke=True, scenarios=["bogus"])
+
+
+def test_run_stress_smoke_single_scenario(tmp_path):
+    """End-to-end: one non-sync scenario through the whole harness."""
+    output = tmp_path / "stress.json"
+    report = run_stress(
+        output=str(output), smoke=True, seed=0, scenarios=["sweep-jammer"]
+    )
+    assert report["passed"]
+    assert report["meta"]["mode"] == "smoke"
+    (contract,) = report["noop_contracts"]
+    assert contract["scenario"] == "sweep-jammer"
+    assert contract["iq_identical"] and contract["metrics_identical"]
+    (sweep,) = report["sweeps"]
+    assert sweep["monotone_goodput"]
+    assert [p["intensity"] for p in sweep["points"]] == [0.0, 0.5, 1.0]
+    goodputs = [p["goodput_bps"] for p in sweep["points"]]
+    # Full-blast jamming must actually cost goodput, not just not-help.
+    assert goodputs[-1] < goodputs[0]
+    assert report["sync_probes"] == []  # sweep-jammer is not sync-coupled
+    assert report["degradation"]["mac_backoff"]["passed"]
+    assert report["degradation"]["arq_jamming"]["passed"]
+    on_disk = json.loads(output.read_text())
+    assert on_disk["passed"] is True
+
+
+def test_resync_budget_is_small_and_positive():
+    assert 1 <= RESYNC_BUDGET <= 5

@@ -88,3 +88,69 @@ def test_no_edges_in_pure_noise():
     result = SyncCircuit(fs, rng=rng).process(noise)
     # Flat noise never exceeds 1.6x its own average for long.
     assert len(result.edges) <= 2
+
+
+def _buried_boost_signal(fs, duration_s=0.04, floor=1.0, boost=1.35):
+    """Constant-envelope carrier with a PSS-cadence boost too weak for the
+    default 1.6x margin but clear of the relaxed 1.2x one."""
+    n = int(duration_s * fs)
+    amplitude = np.full(n, floor)
+    period = int(5e-3 * fs)
+    width = int(0.5e-3 * fs)
+    for start in range(0, n, period):
+        amplitude[start : start + width] = boost
+    return amplitude.astype(complex)
+
+
+def test_resync_budget_zero_is_bit_identical(capture):
+    """A clean capture must not notice the adaptive-resync machinery."""
+    params = capture.params
+    noisy = awgn(capture.samples, 25.0, make_rng(4))
+    legacy = SyncCircuit(params.sample_rate_hz, rng=0).process(noisy)
+    adaptive = SyncCircuit(
+        params.sample_rate_hz, rng=0, max_resync_attempts=3
+    ).process(noisy)
+    np.testing.assert_array_equal(legacy.edges, adaptive.edges)
+    np.testing.assert_array_equal(legacy.comparator, adaptive.comparator)
+    assert adaptive.resync_attempts == 0
+    assert adaptive.threshold_margin == legacy.threshold_margin
+
+
+def test_resync_recovers_buried_boost():
+    """Margin backoff finds edges the first pass misses."""
+    fs = 1.92e6
+    signal = _buried_boost_signal(fs)
+    single = SyncCircuit(fs, rng=0, jitter_seconds=0.0).process(signal)
+    assert len(single.edges) == 0
+    assert single.resync_attempts == 0
+
+    adaptive = SyncCircuit(
+        fs, rng=0, jitter_seconds=0.0, max_resync_attempts=3
+    ).process(signal)
+    assert len(adaptive.edges) >= 3
+    assert 1 <= adaptive.resync_attempts <= 3
+    assert adaptive.threshold_margin < 1.6
+    # Recovered edges keep the 5 ms PSS cadence.
+    spacing = np.diff(adaptive.edge_times)
+    assert np.allclose(spacing, 5e-3, atol=3e-4)
+
+
+def test_resync_backoff_is_bounded_at_margin_floor():
+    """With nothing to find, the margin walks down and stops at the floor
+    instead of burning the whole budget."""
+    from repro.tag.sync_circuit import MIN_THRESHOLD_MARGIN
+
+    fs = 1.92e6
+    silence = np.zeros(40_000, dtype=complex)
+    result = SyncCircuit(fs, rng=0, max_resync_attempts=10).process(silence)
+    assert len(result.edges) == 0
+    # 1.6 -> 1.2 -> floor: two attempts, then the floor short-circuits.
+    assert result.resync_attempts == 2
+    assert result.threshold_margin == MIN_THRESHOLD_MARGIN
+
+
+def test_negative_resync_budget_rejected():
+    from repro.core.config import SystemConfig
+
+    with pytest.raises(ValueError, match="sync_resync_attempts"):
+        SystemConfig(bandwidth_mhz=1.4, sync_resync_attempts=-1)

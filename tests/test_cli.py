@@ -137,6 +137,8 @@ def test_fleet_rejects_unknown_scheme():
         (["fleet", "--frames", "-1"], "--frames must be >= 1"),
         (["chaos", "--max-severity", "1.5"], "--max-severity must be in [0, 1]"),
         (["chaos", "--kinds", "dropout,gremlins"], "unknown chaos kind"),
+        (["stress", "--max-intensity", "1.5"], "--max-intensity must be in [0, 1]"),
+        (["stress", "--scenarios", "sweep-jammer,gremlins"], "unknown stress scenario"),
     ],
 )
 def test_argument_validation_is_one_clean_line(capsys, argv, fragment):
@@ -169,6 +171,44 @@ def test_chaos_command_smoke(tmp_path, capsys):
     report = json.loads(out_path.read_text())
     assert report["passed"] is True
     assert report["sweeps"][0]["kind"] == "dropout"
+
+
+@pytest.mark.parametrize("command", ["chaos", "stress"])
+def test_suite_commands_refuse_to_overwrite_without_force(
+    tmp_path, capsys, command
+):
+    out_path = tmp_path / f"{command}.json"
+    out_path.write_text("{}")
+    code = main([command, "--smoke", "--output", str(out_path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "already exists" in err
+    assert "--force" in err
+    assert out_path.read_text() == "{}"  # refused before running anything
+
+
+def test_stress_command_smoke(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "stress.json"
+    code = main(
+        [
+            "stress",
+            "--smoke",
+            "--scenarios",
+            "sweep-jammer",
+            "--output",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no-op contracts OK" in out
+    assert "monotone" in out
+    assert "PASSED" in out
+    report = json.loads(out_path.read_text())
+    assert report["passed"] is True
+    assert report["sweeps"][0]["scenario"] == "sweep-jammer"
 
 
 @pytest.fixture()
