@@ -1,0 +1,68 @@
+"""Service overhead benchmark: the queue/worker substrate stays cheap.
+
+The service wraps every tag-session in queue admission, a heap pop, two
+``perf_counter`` pairs and a result-map handoff.  That overhead must
+stay far below the cost of a real session (~100 ms of DSP), or the
+always-on path would quietly tax the fleet.  This suite pins two
+bounds: raw per-session service overhead with no-op sessions, and the
+end-to-end service-vs-batch wall-clock ratio for a real cohort.
+
+Bounds are deliberately generous (CI machines are noisy); the point is
+to catch an accidental serialisation — a lock held across a session, a
+poll interval in the hot path — not to police microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.fleet import Deployment, FleetRunner
+from repro.service import FleetService
+
+N_NOOP_SESSIONS = 400
+
+
+def _noop_session(task):
+    return 0.0, task
+
+
+def test_service_overhead_per_noop_session_under_5ms():
+    with FleetService(workers=2, max_queue_depth=N_NOOP_SESSIONS) as service:
+        start = time.perf_counter()
+        tickets = [
+            service.submit(_noop_session, i) for i in range(N_NOOP_SESSIONS)
+        ]
+        for ticket in tickets:
+            service.result(ticket, timeout=30.0)
+        elapsed = time.perf_counter() - start
+    per_session = elapsed / N_NOOP_SESSIONS
+    print(
+        f"\nservice overhead: {N_NOOP_SESSIONS} no-op sessions in "
+        f"{elapsed * 1e3:.1f} ms ({per_session * 1e6:.0f} us/session)"
+    )
+    assert per_session < 0.005
+
+
+def test_service_fleet_wall_clock_close_to_batch():
+    deployment = Deployment.ring(4, bandwidth_mhz=1.4, n_frames=2)
+
+    start = time.perf_counter()
+    with FleetRunner(deployment, scheme="tdma", seed=0) as runner:
+        batch = runner.run(payload_length=2000)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with FleetService(workers=1, max_queue_depth=8) as service:
+        with FleetRunner(deployment, scheme="tdma", seed=0) as runner:
+            ticket = service.submit_fleet(runner, payload_length=2000)
+            report = service.fleet_result(ticket)
+    service_seconds = time.perf_counter() - start
+
+    print(
+        f"\nbatch {batch_seconds:.2f} s vs service {service_seconds:.2f} s "
+        f"({service_seconds / batch_seconds:.2f}x)"
+    )
+    assert report.n_tags == batch.n_tags
+    # One worker, same sessions: the substrate may cost polling slack but
+    # never multiples of the work itself.
+    assert service_seconds < batch_seconds * 3 + 2.0

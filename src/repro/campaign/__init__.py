@@ -14,7 +14,7 @@ Entry point: ``repro campaign <experiment> [--shards N --shard-index I
 across matrix jobs.  See DESIGN.md §13.
 """
 
-from repro.campaign.checkpoint import CheckpointStore
+from repro.campaign.checkpoint import CheckpointStore, canonical_crc
 from repro.campaign.registry import CampaignDef, campaign_capable, get_campaign
 from repro.campaign.runner import (
     CampaignReport,
@@ -40,6 +40,7 @@ __all__ = [
     "ShardTask",
     "build_shards",
     "campaign_capable",
+    "canonical_crc",
     "get_campaign",
     "select_shards",
 ]

@@ -50,6 +50,17 @@ def _canonical(payload):
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def canonical_crc(payload):
+    """CRC-32 of a payload's canonical JSON form (sorted keys, no spaces).
+
+    The digest every checkpoint embeds, exposed for other layers that
+    need a stable content identity for JSON-safe rows — the soak harness
+    fingerprints each cohort's results (and the whole grid) with it, so
+    "bit-identical aggregates" reduces to integer equality.
+    """
+    return crc32_bytes(_canonical(_jsonify(payload)).encode())
+
+
 class CheckpointStore:
     """Shard checkpoints and manifests under one run directory."""
 

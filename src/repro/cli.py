@@ -15,6 +15,9 @@ Three commands:
   ``--check`` it gates the run against a committed baseline;
 * ``campaign`` — sharded, resumable execution of a registry experiment
   with per-shard checkpoints (see DESIGN.md §13);
+* ``serve`` — run the always-on fleet service; with ``--soak`` it drives
+  the checkpointed soak harness and writes ``SOAK_PR9.json`` (see
+  DESIGN.md §18);
 * ``report`` — write the full evaluation report.
 
 Installed as the ``repro`` console script (and ``lscatter``, its alias).
@@ -565,6 +568,165 @@ def _cmd_campaign(args):
     return 1 if report.failed else 0
 
 
+def _validate_serve(args):
+    if args.sessions is not None and args.sessions < 1:
+        return _fail_usage(f"--sessions must be >= 1, got {args.sessions}")
+    if args.cohort_tags < 1:
+        return _fail_usage(
+            f"--cohort-tags must be >= 1, got {args.cohort_tags}"
+        )
+    if args.workers < 1:
+        return _fail_usage(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_depth < 1:
+        return _fail_usage(
+            f"--queue-depth must be >= 1, got {args.queue_depth}"
+        )
+    if args.snapshot_every < 1:
+        return _fail_usage(
+            f"--snapshot-every must be >= 1, got {args.snapshot_every}"
+        )
+    if args.frames < 1:
+        return _fail_usage(f"--frames must be >= 1, got {args.frames}")
+    if args.payload < 1:
+        return _fail_usage(f"--payload must be >= 1, got {args.payload}")
+    if args.resume and not args.soak:
+        return _fail_usage("--resume only applies to --soak runs")
+    return None
+
+
+def _latency_line(name, stats):
+    if not stats["count"]:
+        return f"serve: {name} latency: no sessions recorded"
+    return (
+        f"serve: {name} latency p50 {stats['p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {stats['p99_seconds'] * 1e3:.1f} ms "
+        f"({stats['count']} session(s))"
+    )
+
+
+def _cmd_serve(args):
+    error = _validate_serve(args)
+    if error is not None:
+        return error
+    # Mirror chaos/stress: smoke soaks default to artifacts/ so CI never
+    # clobbers the committed full-mode report (SOAK_PR9.json).
+    output = args.output
+    if output is None:
+        output = "artifacts/soak_smoke.json" if args.smoke else "SOAK_PR9.json"
+    if args.soak and not args.resume:
+        error = _refuse_overwrite(output, args.force)
+        if error is not None:
+            return error
+    if args.snapshot is not None:
+        error = _refuse_overwrite(args.snapshot, args.force)
+        if error is not None:
+            return error
+
+    from repro.service import FleetService, default_spec, run_soak
+
+    spec = default_spec(
+        smoke=args.smoke,
+        sessions=args.sessions,
+        cohort_tags=args.cohort_tags,
+        seed=args.seed,
+        scheme=args.scheme,
+        bandwidth_mhz=args.bandwidth,
+        n_frames=args.frames,
+        payload_length=args.payload,
+    )
+
+    if args.soak:
+        run_dir = args.run_dir
+        if run_dir is None:
+            run_dir = os.path.join(
+                "artifacts", "soak" + ("-smoke" if args.smoke else "")
+            )
+        report = run_soak(
+            output,
+            run_dir,
+            spec,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            resume=args.resume,
+            snapshot_path=args.snapshot,
+            snapshot_every=args.snapshot_every,
+        )
+        progress = report["progress"]
+        operations = report["operations"]
+        aggregates = report["aggregates"]
+        # The nightly workflow greps "completed N"/"resumed N"/
+        # "equivalence OK" — keep wording stable.
+        print(
+            f"soak: {progress['total_cohorts']} cohort(s) "
+            f"({aggregates['sessions']} session(s)) — "
+            f"completed {progress['completed_cohorts']}, "
+            f"resumed {progress['resumed_cohorts']}"
+        )
+        print(
+            f"soak: throughput "
+            f"{operations['throughput_sessions_per_second']:.2f} "
+            f"session(s)/s over {operations['wall_seconds']:.1f} s wall, "
+            f"{operations['workers']} worker(s), "
+            f"peak RSS {operations['peak_rss_mb']:.1f} MB"
+        )
+        print(_latency_line("session", operations["session_latency"]))
+        shed = operations["shed"]
+        print(
+            f"soak: shed {shed['count']}/{shed['attempts']} submissions "
+            f"(rate {shed['rate']:.3f}), {operations['reloads']} reload(s), "
+            f"{operations['snapshot_exports']} snapshot export(s)"
+        )
+        equivalence = report["equivalence"]
+        print(
+            f"soak: service-vs-batch equivalence "
+            f"{'OK' if equivalence['passed'] else 'FAILED'} "
+            f"({equivalence['checked_cohorts']} cohort(s) checked)"
+        )
+        print(f"wrote {output}")
+        return 0 if report["passed"] else 1
+
+    # Demo mode: one cohort burst through a live service, summary on
+    # stdout — the quickest way to see the queue/worker/telemetry path.
+    from repro.fleet import Deployment, FleetRunner
+
+    deployment = Deployment.ring(
+        spec["cohort_tags"],
+        bandwidth_mhz=spec["bandwidth_mhz"],
+        n_frames=spec["n_frames"],
+    )
+    with FleetService(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+    ) as service:
+        with FleetRunner(
+            deployment, scheme=spec["scheme"], seed=spec["seed"]
+        ) as runner:
+            ticket = service.submit_fleet(
+                runner, payload_length=spec["payload_length"]
+            )
+            report = service.fleet_result(ticket)
+        service.drain()
+        summary = service.summary()
+    print(
+        f"FleetService demo: {report.n_tags} session(s) through "
+        f"{args.workers} worker(s), queue depth {args.queue_depth}"
+    )
+    print(report.format_table())
+    queue = summary["queue"]
+    print(
+        f"serve: queue submitted {queue['submitted']}, shed {queue['shed']}, "
+        f"popped {queue['popped']}; sessions completed "
+        f"{summary['sessions']['completed']}, failed "
+        f"{summary['sessions']['failed']}"
+    )
+    print(_latency_line("session", summary["latency"]["session"]))
+    if args.snapshot is not None:
+        print(f"wrote {args.snapshot}")
+    return 0
+
+
 def _cmd_survey(args):
     from repro.traffic import weekly_occupancy_samples
 
@@ -927,6 +1089,96 @@ def build_parser():
         help="worker processes for shard execution",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on fleet service (with --soak: checkpointed soak "
+        "harness writing SOAK_PR9.json)",
+    )
+    serve.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the deterministic soak harness: checkpointed cohorts, "
+        "service-vs-batch bit-identity gate, SOAK report",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: 3 cohorts (12 sessions)",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help="synthetic tag-sessions to drive (default 96, or 12 in smoke "
+        "mode)",
+    )
+    serve.add_argument(
+        "--cohort-tags",
+        type=int,
+        default=4,
+        help="sessions per cohort (one seeded deployment each)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="service worker threads (results are bit-identical for any "
+        "value)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="job-queue depth; submissions beyond it are shed",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--scheme",
+        default="tdma",
+        choices=("tdma", "aloha", "priority"),
+        help="MAC scheme for each cohort's deployment",
+    )
+    serve.add_argument("--bandwidth", type=float, default=1.4)
+    serve.add_argument(
+        "--frames", type=int, default=2, help="LTE frames per cohort capture"
+    )
+    serve.add_argument("--payload", type=int, default=2_000)
+    serve.add_argument(
+        "--output",
+        default=None,
+        help="soak report JSON path (default SOAK_PR9.json, or "
+        "artifacts/soak_smoke.json in smoke mode)",
+    )
+    serve.add_argument(
+        "--run-dir",
+        default=None,
+        help="soak checkpoint directory (default artifacts/soak[-smoke])",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse verified cohort checkpoints in --run-dir (a killed "
+        "soak continues where it stopped)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="live telemetry snapshot path, atomically rewritten every "
+        "--snapshot-every sessions (default: no snapshot file)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="completed sessions between live snapshot exports",
+    )
+    serve.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite existing --output / --snapshot files",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     survey = sub.add_parser("survey", help="ambient-traffic survey for a venue")
     survey.add_argument("--venue", default="home")

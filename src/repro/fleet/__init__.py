@@ -32,7 +32,7 @@ from repro.fleet.ambient import (
 from repro.fleet.deployment import Deployment, TagPlacement
 from repro.fleet.engine import EngineTelemetry, ParallelRunEngine, TaskFailure
 from repro.fleet.report import FleetReport, TagResult
-from repro.fleet.runner import FleetRunner
+from repro.fleet.runner import FleetPlan, FleetRunner
 from repro.fleet.scheduler import (
     SCHEME_NAMES,
     FleetSchedule,
@@ -53,6 +53,7 @@ __all__ = [
     "ParallelRunEngine",
     "FleetReport",
     "TagResult",
+    "FleetPlan",
     "FleetRunner",
     "SCHEME_NAMES",
     "FleetSchedule",

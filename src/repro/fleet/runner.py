@@ -30,7 +30,7 @@ from repro.bsrx.streaming import DEFAULT_CHUNK_HALF_FRAMES
 from repro.core.system import LScatterSystem
 from repro.faults.infra import FaultyTask
 from repro.fleet.ambient import AmbientCache
-from repro.fleet.engine import ParallelRunEngine, TaskFailure
+from repro.fleet.engine import EngineTelemetry, ParallelRunEngine, TaskFailure
 from repro.fleet.report import FleetReport, TagResult, capture_seconds
 from repro.fleet.scheduler import FleetScheduler, make_scheme
 from repro.obs import metrics as obs_metrics
@@ -186,6 +186,21 @@ def _simulate_tags_batched(tasks):
     return results
 
 
+@dataclass
+class FleetPlan:
+    """The deterministic half of a fleet run: schedule plus tag tasks.
+
+    Everything stochastic (MAC draws, per-tag seeds) is already fixed in
+    the plan, so the tasks can be executed by any substrate — the
+    :class:`~repro.fleet.engine.ParallelRunEngine`, the batched parent
+    pass, or the :class:`repro.service.FleetService` job queue — and
+    produce bit-identical :class:`~repro.fleet.report.TagResult`\\ s.
+    """
+
+    schedule: object
+    tasks: list
+
+
 class FleetRunner:
     """One multi-tag network simulation over a shared ambient capture."""
 
@@ -268,13 +283,21 @@ class FleetRunner:
             return make_scheme(self.scheme, weights=self.deployment.weights())
         return self.scheme
 
-    def run(self, payload_length=20000):
-        """Simulate the fleet; returns a :class:`FleetReport`."""
+    def plan(self, payload_length=20000, parallel=None):
+        """Build the deterministic :class:`FleetPlan` for this fleet.
+
+        Seeds — one stream for the MAC scheme, one per tag — are all
+        spawned here in the parent, so results never depend on which
+        substrate later executes the tasks or in what order.  ``parallel``
+        picks the ambient sharing mode: a memory-mapped
+        :class:`~repro.fleet.ambient.AmbientHandle` for worker processes,
+        or the in-memory stage for anything running in this process
+        (serial, batched, and the service's worker threads).  ``None``
+        infers it from the runner's own worker count.
+        """
         deployment = self.deployment
         n_tags = deployment.n_tags
 
-        # Seeds: one stream for the MAC scheme, one per tag — all spawned
-        # in the parent so results never depend on execution order.
         root = np.random.SeedSequence(self.seed)
         sched_seq, *tag_seqs = root.spawn(1 + n_tags)
         tag_seeds = [int(seq.generate_state(1)[0]) for seq in tag_seqs]
@@ -289,21 +312,19 @@ class FleetRunner:
         )
 
         base_config = deployment.base_config()
-        engine = ParallelRunEngine(
-            workers=self.workers,
-            max_retries=self.max_retries,
-            task_timeout_seconds=self.task_timeout_seconds,
-            on_error=self.on_error,
-        )
-        if engine.workers > 1 and n_tags > 1 and not self.batch_tags:
+        if parallel is None:
+            parallel = (
+                self.workers > 1 and n_tags > 1 and not self.batch_tags
+            )
+        if parallel:
             ambient = self.cache.handle(
                 base_config,
                 self.seed,
                 include_frames=deployment.reference_mode == "decoded",
             )
         else:
-            # Serial and batched paths run in the parent: share the
-            # in-memory stage directly, no scratch spill needed.
+            # In-process paths share the in-memory stage directly, no
+            # scratch spill needed.
             ambient = self.cache.get(base_config, self.seed)
 
         tasks = []
@@ -328,6 +349,25 @@ class FleetRunner:
                     trace=self.trace,
                 )
             )
+        return FleetPlan(schedule=schedule, tasks=tasks)
+
+    def run(self, payload_length=20000):
+        """Simulate the fleet; returns a :class:`FleetReport`."""
+        engine = ParallelRunEngine(
+            workers=self.workers,
+            max_retries=self.max_retries,
+            task_timeout_seconds=self.task_timeout_seconds,
+            on_error=self.on_error,
+        )
+        plan = self.plan(
+            payload_length=payload_length,
+            parallel=(
+                engine.workers > 1
+                and self.deployment.n_tags > 1
+                and not self.batch_tags
+            ),
+        )
+        schedule, tasks = plan.schedule, plan.tasks
 
         if self.batch_tags:
             # The batched pass runs in the parent (the FFT layer spreads
@@ -342,6 +382,21 @@ class FleetRunner:
         else:
             task_fn = FaultyTask.from_faults(_simulate_tag, self.infra_faults)
             raw = engine.map(task_fn, tasks)
+        return self.assemble_report(schedule, raw, telemetry=engine.telemetry)
+
+    def assemble_report(self, schedule, raw, telemetry=None):
+        """Fold per-tag results back into a :class:`FleetReport`.
+
+        ``raw`` holds one entry per deployment tag, in tag order — either
+        a :class:`~repro.fleet.report.TagResult` or a
+        :class:`~repro.fleet.engine.TaskFailure` sentinel (converted to a
+        ``failed=True`` row).  ``telemetry`` is the executing substrate's
+        :class:`~repro.fleet.engine.EngineTelemetry`; the service passes
+        its own view, a plain default is used when omitted.
+        """
+        deployment = self.deployment
+        if telemetry is None:
+            telemetry = EngineTelemetry(workers=self.workers)
         results = []
         for index, result in enumerate(raw):
             if isinstance(result, TaskFailure):
@@ -369,10 +424,9 @@ class FleetRunner:
                 for name, value in result.metrics.items():
                     counters[name] = counters.get(name, 0) + value
 
-        telemetry = engine.telemetry
         return FleetReport(
             scheme=schedule.scheme,
-            n_tags=n_tags,
+            n_tags=deployment.n_tags,
             n_half_frames=schedule.n_half_frames,
             duration_seconds=capture_seconds(schedule.n_half_frames),
             tags=results,

@@ -12,7 +12,10 @@ that were entered hundreds of times.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
+from repro.obs.metrics import metrics_snapshot
 from repro.obs.trace import from_dict
 
 _ATTR_TYPES = (str, int, float, bool)
@@ -93,6 +96,38 @@ def write_chrome_trace(path, roots=None, tracks=None):
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)
     return len(events)
+
+
+def write_live_snapshot(path, extra=None, include_metrics=True):
+    """Atomically write a live metrics snapshot JSON; returns the path.
+
+    Unlike the post-hoc exporters above, this is meant to be called
+    repeatedly from a *running* process (the fleet service exports one
+    every N completed sessions): the payload is staged into a temp file
+    in the destination directory and ``os.replace``\\ d into place, so a
+    reader polling the path always sees a complete, parseable document —
+    never a half-written one.  ``extra`` keys merge on top of the
+    ``metrics`` section (:func:`repro.obs.metrics.metrics_snapshot`).
+    """
+    payload = {}
+    if include_metrics:
+        payload["metrics"] = metrics_snapshot()
+    if extra:
+        payload.update(extra)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=".snapshot-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
 
 
 def format_span_tree(roots, indent=0):
