@@ -56,6 +56,11 @@ GATE_METRICS = (
     # directly against the committed full-mode baseline.
     ("bsrx_batch.speedup", "higher", False),
     ("streaming.memory_ratio", "higher", False),
+    # PR10: the pluggable-substrate refactor routes every pipeline stage
+    # through a registry-dispatched object; the default chip mode's
+    # dispatch cost on the demod hot path must stay negligible (missing
+    # in pre-PR10 baselines — reported, not gated, against those).
+    ("substrate.overhead_fraction", "lower", False),
 )
 
 #: Absolute slack for lower-is-better metrics whose baseline sits near 0
@@ -453,6 +458,75 @@ def _bench_streaming(smoke):
     }
 
 
+def _bench_substrate(repeats):
+    """Default-substrate dispatch overhead on the demod hot path.
+
+    The PR10 refactor interposes a registry-dispatched
+    :class:`~repro.substrates.base.Substrate` between the system and the
+    stage objects; for the default chip mode every hook is a forwarding
+    call.  The candidates demodulate one identical front-end capture
+    through the substrate (``system.substrate.demodulate(front)``) and
+    directly (``system.demodulator.demodulate(...)``, the pre-refactor
+    call) — asserted bit-identical before any timing.
+
+    As with :func:`_bench_trace_overhead`, frame-level FFT jitter swamps
+    a couple of Python calls, so the pinned fraction divides the
+    *measured dispatch cost* — one registry lookup plus one substrate
+    construction with its capability guards, everything the refactor
+    added per system — by the direct demod time.  The interleaved A/B
+    ratio is kept in the artifact for cross-checking.  Pinned < 2 % by
+    ``benchmarks/test_substrate_overhead.py``.
+    """
+    from repro.core import LScatterSystem, SystemConfig
+    from repro.substrates import get_substrate
+
+    config = SystemConfig(
+        bandwidth_mhz=1.4,
+        n_frames=2,
+        reference_mode="genie",
+        sync_mode="model",
+        multipath=False,
+        add_noise=False,
+    )
+    system = LScatterSystem(config, rng=0)
+    front = system.run_frontend(payload_length=2000)
+    demod = system.demodulator
+
+    def direct():
+        return demod.demodulate(
+            front.shifted_rx, front.reference, front.half_starts
+        )
+
+    def dispatched():
+        return system.substrate.demodulate(front)
+
+    a, b = direct(), dispatched()
+    equal = (
+        np.array_equal(a.bits, b.bits)
+        and np.array_equal(a.soft, b.soft)
+        and np.array_equal(a.starts, b.starts)
+    )
+    assert equal, "substrate-dispatched demod diverged from the direct call"
+    times = _interleaved_min(
+        [("direct", direct), ("dispatched", dispatched)],
+        repeats,
+        timer=time.perf_counter,
+    )
+    loops = 10_000
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        get_substrate("chip")(system)
+    per_dispatch = (time.perf_counter() - t0) / loops
+    return {
+        "config": "1.4 MHz, 2 frames, genie reference, chip substrate",
+        "wall_seconds": times,
+        "equal_results": bool(equal),
+        "measured_ratio": times["dispatched"] / times["direct"] - 1.0,
+        "dispatch_seconds": per_dispatch,
+        "overhead_fraction": per_dispatch / times["direct"],
+    }
+
+
 def _bench_trace_overhead(params, repeats, rng):
     """Disabled-tracing overhead on the instrumented OFDM hot path.
 
@@ -530,6 +604,7 @@ def run_bench(output="BENCH_PR7.json", bandwidth=None, repeats=None, smoke=False
         "network": _bench_network(smoke),
         "bsrx_batch": _bench_bsrx_batch(smoke),
         "streaming": _bench_streaming(smoke),
+        "substrate": _bench_substrate(repeats),
         "cache_stats": cache_stats(),
     }
     if output:
@@ -621,10 +696,16 @@ def compare_to_baseline(current, baseline, tolerance=0.25):
     }
 
 
-def format_check(report):
-    """Human-readable lines for a :func:`compare_to_baseline` report."""
+def format_check(report, baseline_path=None):
+    """Human-readable lines for a :func:`compare_to_baseline` report.
+
+    ``baseline_path`` names the baseline file in the verdict lines, so a
+    failing CI log says *which* committed baseline the run regressed
+    against, not just which metric.
+    """
+    against = f" vs {baseline_path}" if baseline_path else ""
     lines = [
-        f"bench gate (tolerance {report['tolerance']:.0%}, "
+        f"bench gate{against} (tolerance {report['tolerance']:.0%}, "
         f"{len(report['metrics'])} metrics):"
     ]
     for m in report["metrics"]:
@@ -644,7 +725,7 @@ def format_check(report):
         )
     lines.append(
         "bench gate: PASSED" if report["passed"] else
-        f"bench gate: FAILED ({', '.join(report['regressions'])})"
+        f"bench gate: FAILED{against} ({', '.join(report['regressions'])})"
     )
     return "\n".join(lines)
 
@@ -690,5 +771,8 @@ def format_summary(results):
         f"streaming demod  : {results['streaming']['memory_ratio']:.1f}x smaller "
         f"peak working set "
         f"({results['streaming']['config']})",
+        f"substrate dispatch: "
+        f"{results['substrate']['overhead_fraction'] * 100:+.3f}% of direct "
+        f"demod ({results['substrate']['config']})",
     ]
     return "\n".join(lines)

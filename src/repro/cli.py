@@ -13,6 +13,9 @@ Three commands:
 * ``chaos`` — fault-injection sweeps and degradation curves;
 * ``bench`` — time the DSP hot path and write a perf baseline JSON; with
   ``--check`` it gates the run against a committed baseline;
+* ``substrates`` — cross-substrate comparison suite over every
+  registered ambient-substrate mode; writes ``SUBSTRATES_PR10.json``
+  (see DESIGN.md §19);
 * ``campaign`` — sharded, resumable execution of a registry experiment
   with per-shard checkpoints (see DESIGN.md §13);
 * ``serve`` — run the always-on fleet service; with ``--soak`` it drives
@@ -46,7 +49,22 @@ def _refuse_overwrite(path, force):
     )
 
 
+def _validate_substrate(name):
+    """Usage-error exit code for an unknown substrate name, else ``None``."""
+    from repro.substrates import available_substrates
+
+    if name is not None and name not in available_substrates():
+        return _fail_usage(
+            f"unknown substrate {name!r}; choose from "
+            f"{', '.join(available_substrates())}"
+        )
+    return None
+
+
 def _cmd_simulate(args):
+    error = _validate_substrate(args.substrate)
+    if error is not None:
+        return error
     from repro.core import LScatterSystem, SystemConfig
 
     config = SystemConfig(
@@ -58,8 +76,13 @@ def _cmd_simulate(args):
         n_frames=args.frames,
         sync_mode="circuit" if args.circuit_sync else "model",
         reference_mode="decoded" if args.decoded_reference else "genie",
+        substrate=args.substrate,
     )
-    system = LScatterSystem(config, rng=args.seed)
+    try:
+        system = LScatterSystem(config, rng=args.seed)
+    except ValueError as exc:
+        # e.g. srs-uplink with --decoded-reference / --circuit-sync.
+        return _fail_usage(str(exc))
     report = system.run(payload_length=args.payload)
     print(f"bandwidth      : {args.bandwidth} MHz ({args.venue})")
     print(f"geometry       : eNodeB --{args.enb_to_tag} ft-- tag --{args.tag_to_ue} ft-- UE")
@@ -83,6 +106,8 @@ def _cmd_experiment(args):
     # through rather than silently dropped.
     if args.seed is not None:
         argv += ["--seed", str(args.seed)]
+    if args.substrate is not None:
+        argv += ["--substrate", args.substrate]
     return experiments_main(argv)
 
 
@@ -196,6 +221,20 @@ def _validate_fleet(args):
             "--batch-tags shares one demod pass across tags, so per-tag "
             "traces cannot be attributed; drop one of the two flags"
         )
+    error = _validate_substrate(args.substrate)
+    if error is not None:
+        return error
+    if args.substrate not in (None, "chip"):
+        if args.batch_tags:
+            return _fail_usage(
+                f"--batch-tags runs the chip demodulator's batched pass, "
+                f"which substrate {args.substrate!r} does not provide"
+            )
+        if args.streaming:
+            return _fail_usage(
+                f"--streaming runs the chunked chip receiver, which "
+                f"substrate {args.substrate!r} does not support"
+            )
     return None
 
 
@@ -224,6 +263,7 @@ def _cmd_fleet(args):
         batch_tags=args.batch_tags,
         streaming=args.streaming,
         chunk_half_frames=args.chunk_half_frames,
+        substrate=args.substrate,
     ) as runner:
         report = runner.run(payload_length=args.payload)
     print(
@@ -486,10 +526,39 @@ def _cmd_bench(args):
         report = compare_to_baseline(
             results, load_baseline(args.check), tolerance=args.tolerance
         )
-        print(format_check(report))
+        print(format_check(report, baseline_path=args.check))
         if not report["passed"]:
             return 1
     return 0
+
+
+def _cmd_substrates(args):
+    error = _validate_substrate(args.substrate)
+    if error is not None:
+        return error
+    # Mirror chaos/stress: smoke runs default to artifacts/ so CI never
+    # clobbers the committed full-mode report (SUBSTRATES_PR10.json).
+    output = args.output
+    if output is None:
+        output = (
+            "artifacts/substrates_smoke.json"
+            if args.smoke
+            else "SUBSTRATES_PR10.json"
+        )
+    error = _refuse_overwrite(output, args.force)
+    if error is not None:
+        return error
+    from repro.substrates.suite import format_report, run_suite
+
+    report = run_suite(
+        output,
+        smoke=args.smoke,
+        seed=args.seed,
+        substrate=args.substrate,
+    )
+    print(format_report(report))
+    print(f"wrote {output}")
+    return 0 if report["passed"] else 1
 
 
 def _cmd_campaign(args):
@@ -757,6 +826,12 @@ def build_parser():
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--circuit-sync", action="store_true")
     simulate.add_argument("--decoded-reference", action="store_true")
+    simulate.add_argument(
+        "--substrate",
+        default="chip",
+        help="ambient-substrate mode (chip, crs-ook, crs-fsk, coded-pilot, "
+        "srs-uplink; default chip)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     experiment = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -764,6 +839,12 @@ def build_parser():
     # default=None so each experiment's own default seed applies unless
     # the user passes one explicitly (including --seed 0).
     experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument(
+        "--substrate",
+        default=None,
+        help="ambient-substrate filter for substrate-aware experiments "
+        "(currently subgrid)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     trace = sub.add_parser(
@@ -844,6 +925,12 @@ def build_parser():
         type=int,
         default=None,
         help="streaming chunk size in half-frames (default 4)",
+    )
+    fleet.add_argument(
+        "--substrate",
+        default=None,
+        help="ambient-substrate mode for the whole fleet (default: the "
+        "deployment's, normally chip)",
     )
     fleet.set_defaults(func=_cmd_fleet)
 
@@ -1040,6 +1127,34 @@ def build_parser():
         help="relative slack allowed vs the --check baseline (default 0.25)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    substrates = sub.add_parser(
+        "substrates",
+        help="cross-substrate comparison suite writing SUBSTRATES_PR10.json",
+    )
+    substrates.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: link + fault-noop checks only (no ladder)",
+    )
+    substrates.add_argument(
+        "--substrate",
+        default=None,
+        help="run only this mode (default: every registered mode)",
+    )
+    substrates.add_argument("--seed", type=int, default=0)
+    substrates.add_argument(
+        "--output",
+        default=None,
+        help="report JSON path (default SUBSTRATES_PR10.json, or "
+        "artifacts/substrates_smoke.json in smoke mode)",
+    )
+    substrates.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing report file",
+    )
+    substrates.set_defaults(func=_cmd_substrates)
 
     campaign = sub.add_parser(
         "campaign",

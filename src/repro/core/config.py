@@ -78,6 +78,10 @@ class SystemConfig:
     #: geometrically relaxed threshold margin (bounded exponential
     #: backoff).  0 keeps the legacy single-pass circuit bit-identical.
     sync_resync_attempts: int = 0
+    #: Which ambient-substrate mode the tag/receiver pair runs (see
+    #: :mod:`repro.substrates`).  ``"chip"`` — the paper's scheme — keeps
+    #: the pipeline bit-identical to the pre-substrate code.
+    substrate: str = "chip"
 
     def __post_init__(self):
         if self.enb_to_ue_ft is None:
@@ -108,6 +112,16 @@ class SystemConfig:
                 f"got {self.sync_resync_attempts!r}"
             )
         self.sync_resync_attempts = int(self.sync_resync_attempts)
+        # Imported lazily: repro.substrates pulls in the mode modules,
+        # which must stay importable without this config module settled.
+        from repro.substrates import available_substrates
+
+        if self.substrate not in available_substrates():
+            known = ", ".join(available_substrates())
+            raise ValueError(
+                f"unknown substrate {self.substrate!r}; "
+                f"registered substrates: {known}"
+            )
 
     @property
     def params(self):

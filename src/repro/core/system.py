@@ -24,7 +24,7 @@ from repro.channel.fading import FadingChannel, venue_k_factor_db
 from repro.channel.link import BackscatterLink, DirectLink
 from repro.channel.noise import add_thermal_noise
 from repro.core.config import SystemConfig
-from repro.core.metrics import LinkReport, measure_link
+from repro.core.metrics import LinkReport
 from repro.faults.carrier import CarrierFaultSet
 from repro.faults.tag import TagFaultInjector, drift_per_half_frame_samples
 from repro.lte.cfo import apply_cfo, correct_cfo, estimate_cfo
@@ -35,7 +35,8 @@ from repro.lte.receiver import LteReceiver
 from repro.lte.transmitter import LteTransmitter
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
-from repro.tag.controller import ChipSchedule, TagController
+from repro.substrates import get_substrate
+from repro.tag.controller import TagController
 from repro.tag.modulator import ChipModulator
 from repro.tag.sync_circuit import SyncCircuit
 from repro.utils.rng import make_rng, spawn_rngs
@@ -118,6 +119,36 @@ class LScatterSystem:
             erasure_threshold=getattr(self.config, "erasure_threshold", None),
             snr_gate_db=getattr(self.config, "window_snr_gate_db", None),
         )
+        # The substrate owns the mode-specific hooks (ambient synthesis,
+        # schedule layout, demodulation, accounting); "chip" delegates to
+        # the controller/demodulator above, bit-identically.
+        substrate_cls = get_substrate(getattr(self.config, "substrate", "chip"))
+        self.substrate = substrate_cls(self)
+        if (
+            self.config.reference_mode == "decoded"
+            and not self.substrate.supports_decoded_reference
+        ):
+            raise ValueError(
+                f"substrate {self.substrate.name!r} has no decodable downlink; "
+                f"use reference_mode='genie'"
+            )
+        if (
+            self.config.sync_mode == "circuit"
+            and self.config.sync_error_samples is None
+            and not self.substrate.supports_circuit_sync
+        ):
+            raise ValueError(
+                f"substrate {self.substrate.name!r} has no PSS envelope for the "
+                f"sync circuit; use sync_mode='model' or pin sync_error_samples"
+            )
+        if (
+            getattr(self.config, "demod_chunk_half_frames", None)
+            and not self.substrate.supports_streaming
+        ):
+            raise ValueError(
+                f"substrate {self.substrate.name!r} has no streaming receiver; "
+                f"leave demod_chunk_half_frames unset"
+            )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -215,20 +246,28 @@ class LScatterSystem:
     # -- ambient stage ----------------------------------------------------------
 
     def prepare_ambient(self, rng=None):
-        """Run the ambient stage only: transmit + normalise.
+        """Run the ambient stage only: synthesize + normalise.
 
-        Returns an :class:`AmbientStage` holding the eNodeB capture and its
-        unit-mean-power samples.  ``rng`` seeds the transmitter; the result
-        can be passed to :meth:`run` (``ambient=``) and reused across many
-        per-tag simulations.
+        Returns an :class:`AmbientStage` holding the ambient capture and
+        its unit-mean-power samples.  ``rng`` seeds the transmitter; the
+        result can be passed to :meth:`run` (``ambient=``) and reused
+        across many per-tag simulations.  What the capture *is* — downlink
+        LTE frames by default, an uplink SRS capture for ``srs-uplink`` —
+        is the configured substrate's choice.
         """
         config = self.config
         with span("system.ambient") as sp:
-            tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng)
-            capture = tx.transmit(config.n_frames)
-            mean_power = float(np.mean(np.abs(capture.samples) ** 2))
-            unit = capture.samples / np.sqrt(mean_power)
+            stage = self.substrate.prepare_ambient(rng=rng)
             sp.set(n_frames=int(config.n_frames), bandwidth_mhz=config.bandwidth_mhz)
+        return stage
+
+    def transmit_downlink_ambient(self, rng=None):
+        """The default (downlink) ambient stage: eNodeB transmit + normalise."""
+        config = self.config
+        tx = LteTransmitter(config.bandwidth_mhz, cell=config.cell, rng=rng)
+        capture = tx.transmit(config.n_frames)
+        mean_power = float(np.mean(np.abs(capture.samples) ** 2))
+        unit = capture.samples / np.sqrt(mean_power)
         return AmbientStage(capture=capture, unit=unit)
 
     # -- main entry --------------------------------------------------------------
@@ -376,11 +415,11 @@ class LScatterSystem:
             # The comparator never fired: the tag cannot place a single
             # half-frame and stays silent (constant '1' chips, no windows)
             # rather than spraying mistimed chips over the capture.
-            schedule = ChipSchedule(chips=np.ones(len(unit), dtype=np.int8))
+            schedule = self.substrate.silent_schedule(len(unit))
         else:
             with span("tag.schedule") as sp:
                 timing = self.controller.genie_timing(0, error_samples)
-                schedule = self.controller.build_schedule(
+                schedule = self.substrate.build_schedule(
                     timing,
                     len(unit),
                     payload_bits,
@@ -465,29 +504,14 @@ class LScatterSystem:
         )
 
     def _demodulate(self, front):
-        """Stage 6: backscatter demodulation, whole-capture or streamed.
+        """Stage 6: substrate demodulation, whole-capture or streamed.
 
-        ``config.demod_chunk_half_frames`` selects the chunked streaming
-        receiver (bit-identical output, bounded working set).
+        The chip substrate honours ``config.demod_chunk_half_frames``
+        (chunked streaming receiver, bit-identical output, bounded
+        working set); the other modes demodulate whole captures.
         """
-        chunk = getattr(self.config, "demod_chunk_half_frames", None)
         with span("bsrx.demodulate") as sp:
-            if chunk:
-                from repro.bsrx.streaming import StreamingDemodulator
-
-                streamer = StreamingDemodulator(
-                    self.params,
-                    chunk_half_frames=chunk,
-                    erasure_threshold=self.demodulator.erasure_threshold,
-                    snr_gate_db=self.demodulator.snr_gate_db,
-                )
-                demod = streamer.demodulate(
-                    front.shifted_rx, front.reference, front.half_starts
-                )
-            else:
-                demod = self.demodulator.demodulate(
-                    front.shifted_rx, front.reference, front.half_starts
-                )
+            demod = self.substrate.demodulate(front)
             sp.set(
                 n_windows=demod.n_data_windows, n_erased=demod.n_erased_windows
             )
@@ -503,7 +527,7 @@ class LScatterSystem:
 
         tolerance = self.params.fft_size // 2
         with span("system.metrics"):
-            breakdown = measure_link(schedule, demod, tolerance)
+            breakdown = self.substrate.measure(schedule, demod, tolerance)
         # Throughput is measured over the time the tag actually had
         # scheduled (whole half-frames); a capture's ragged edge would
         # otherwise bias short simulations low.

@@ -19,6 +19,12 @@ def main(argv=None):
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--substrate",
+        default=None,
+        help="ambient-substrate filter, for experiments that accept one "
+        "(currently subgrid)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -26,7 +32,27 @@ def main(argv=None):
             print(f"{key:8s} {REGISTRY[key][1]}")
         return 0
 
-    result = run_experiment(args.experiment, seed=args.seed)
+    kwargs = {}
+    if args.substrate is not None:
+        import inspect
+
+        from repro.experiments.registry import get_experiment
+
+        try:
+            run_fn = get_experiment(args.experiment)
+        except KeyError:
+            run_fn = None
+        if run_fn is not None and "substrate" not in inspect.signature(
+            run_fn
+        ).parameters:
+            print(
+                f"repro: error: experiment {args.experiment!r} does not "
+                "take a --substrate filter",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["substrate"] = args.substrate
+    result = run_experiment(args.experiment, seed=args.seed, **kwargs)
     print(f"# {result.name}: {result.description}")
     print(result.format_table())
     if result.notes:

@@ -31,6 +31,7 @@ _EXPERIMENTS = {
     "fleetn": ("repro.experiments.fleet_scaling", "Network throughput vs. tag count"),
     "netgrid": ("repro.experiments.netgrid", "Multi-cell goodput vs ISD / interferers"),
     "stressgrid": ("repro.experiments.stressgrid", "Goodput vs attack intensity per stress scenario"),
+    "subgrid": ("repro.experiments.subgrid", "Cross-substrate goodput/BER vs distance and occupancy"),
 }
 
 REGISTRY = dict(_EXPERIMENTS)

@@ -61,6 +61,10 @@ class Deployment:
     #: Per-tag simulation knobs shared by the whole fleet.
     reference_mode: str = "genie"
     sync_mode: str = "model"
+    #: Ambient-substrate mode every tag/receiver pair runs (see
+    #: :mod:`repro.substrates`); the whole fleet shares one mode because
+    #: the ambient capture is shared.
+    substrate: str = "chip"
 
     def __post_init__(self):
         if not self.tags:
@@ -155,6 +159,7 @@ class Deployment:
             n_frames=self.n_frames,
             reference_mode=self.reference_mode,
             sync_mode=self.sync_mode,
+            substrate=self.substrate,
         )
 
     def tag_powers_dbm(self):

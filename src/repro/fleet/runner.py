@@ -219,7 +219,10 @@ class FleetRunner:
         batch_tags=False,
         streaming=False,
         chunk_half_frames=None,
+        substrate=None,
     ):
+        if substrate is not None:
+            deployment = replace(deployment, substrate=str(substrate))
         self.deployment = deployment
         self.scheme = scheme
         self.workers = workers
@@ -265,6 +268,21 @@ class FleetRunner:
                 "injection targets worker tasks — use the per-tag engine "
                 "path"
             )
+        substrate_name = getattr(self.deployment, "substrate", "chip")
+        if substrate_name != "chip":
+            if self.batch_tags:
+                raise ValueError(
+                    f"batch_tags=True stacks captures through the chip "
+                    f"demodulator's demodulate_many pass, which substrate "
+                    f"{substrate_name!r} does not provide; run the per-tag "
+                    "engine path"
+                )
+            if self.streaming:
+                raise ValueError(
+                    f"streaming=True runs the chunked chip receiver, which "
+                    f"substrate {substrate_name!r} does not support; run "
+                    "the whole-capture path"
+                )
 
     def close(self):
         """Release the ambient cache's scratch files if we own the cache."""

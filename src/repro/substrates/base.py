@@ -1,0 +1,229 @@
+"""Pluggable ambient-substrate modes (ROADMAP item 3).
+
+A *substrate* is one way of riding an ambient LTE signal: which symbols
+the tag modulates, how bits map onto its RF-switch waveform, and how the
+receiver turns the shifted-band capture back into bits.  The paper's
+chip scheme (:mod:`repro.substrates.chip`) is the default; its siblings
+— OOK and FSK on the cell-specific reference signals (arXiv 2209.01108,
+2301.13664), convolutional-coded backscatter on LTE pilots (arXiv
+2402.12657) and uplink-SRS backscatter (arXiv 2501.10952) — plug in
+beside it through the same five hooks:
+
+* :meth:`Substrate.prepare_ambient` — what the ambient capture *is*
+  (downlink LTE frames by default; the SRS mode substitutes an uplink
+  sounding capture);
+* :meth:`Substrate.build_schedule` — the tag-side modulation schedule
+  (a :class:`~repro.tag.controller.ChipSchedule`, so the RF switch and
+  the MAC/fault machinery are shared across modes);
+* :meth:`Substrate.silent_schedule` — what a sync-failed tag emits;
+* :meth:`Substrate.demodulate` — the receiver;
+* :meth:`Substrate.measure` — schedule-vs-demod accounting (coded modes
+  replace raw chip counting with decode-then-compare).
+
+Modes register under a string name; :class:`~repro.core.config.
+SystemConfig` carries that name and :class:`~repro.core.system.
+LScatterSystem` dispatches through it.  The default ``"chip"`` mode
+delegates to the exact pre-refactor code paths, so a config that never
+mentions substrates stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import measure_link
+from repro.tag.controller import ChipSchedule
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: make a :class:`Substrate` reachable by name."""
+    if not getattr(cls, "name", ""):
+        raise ValueError("substrate classes must define a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_substrates():
+    """Registered substrate names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_substrate(name):
+    """Look up a substrate class by name.
+
+    Unknown names raise a ``KeyError`` that lists every registered mode,
+    so a typo in a config or CLI flag is self-explaining.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown substrate {name!r}; registered substrates: {known}"
+        ) from None
+
+
+def ambient_kind_for(name):
+    """The ambient-capture family a substrate consumes.
+
+    Modes that modulate the same downlink LTE capture share one kind, so
+    the fleet's :class:`~repro.fleet.ambient.AmbientCache` keeps sharing
+    entries across them; the uplink SRS mode keys separately.
+    """
+    return get_substrate(name).ambient_kind
+
+
+# -- shared helpers -----------------------------------------------------------
+
+
+def iter_half_frames(
+    timing,
+    n_samples,
+    half_frame_samples,
+    owned_half_frames=None,
+    drift_per_half_frame=0.0,
+):
+    """Yield ``(half_index, half_start, drift)`` for owned half-frames.
+
+    Mirrors :meth:`repro.tag.controller.TagController.build_schedule`'s
+    alignment loop exactly — including the "clip windows individually,
+    never skip a whole half-frame for a small negative timing error"
+    rule — so every substrate agrees with the chip scheme about which
+    half-frames exist and how MAC ownership and clock drift apply.
+    """
+    if owned_half_frames is not None:
+        owned_half_frames = {int(h) for h in owned_half_frames}
+    half_start = int(timing.half_frame_start)
+    while half_start < -half_frame_samples // 2:
+        half_start += half_frame_samples
+    half_index = -1
+    while half_start + half_frame_samples <= n_samples:
+        half_index += 1
+        if owned_half_frames is None or half_index in owned_half_frames:
+            drift = int(round(half_index * float(drift_per_half_frame)))
+            yield half_index, half_start, drift
+        half_start += half_frame_samples
+
+
+@dataclass
+class SubstrateDemodResult:
+    """Demodulation output of the non-chip substrates.
+
+    Field-compatible with :class:`repro.bsrx.demodulator.BsDemodResult`
+    where the accounting layer (:func:`repro.core.metrics.measure_link`)
+    and the tracing spans look (``starts`` / ``window_bits`` /
+    ``window_erased`` / ``n_data_windows`` / ``n_erased_windows``), plus
+    per-window soft values for the coded mode's LLR stream.
+    """
+
+    bits: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int8))
+    soft: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    starts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    window_bits: list = field(default_factory=list)
+    window_erased: list = field(default_factory=list)
+    window_soft: list = field(default_factory=list)
+    packets: list = field(default_factory=list)
+
+    @property
+    def n_data_windows(self):
+        return len(self.window_bits)
+
+    @property
+    def n_erased_windows(self):
+        return int(sum(bool(flag) for flag in self.window_erased))
+
+
+class _WindowSink:
+    """Accumulates per-window demod output into a result."""
+
+    def __init__(self):
+        self.window_bits = []
+        self.window_soft = []
+        self.window_erased = []
+        self.starts = []
+
+    def add(self, bits, soft, start, erased):
+        bits = np.asarray(bits, dtype=np.int8)
+        soft = np.asarray(soft, dtype=float)
+        self.window_bits.append(bits)
+        self.window_soft.append(soft)
+        self.window_erased.append(bool(erased))
+        self.starts.append(int(start))
+
+    def result(self):
+        if self.window_bits:
+            bits = np.concatenate(self.window_bits)
+            soft = np.concatenate(self.window_soft)
+        else:
+            bits = np.zeros(0, dtype=np.int8)
+            soft = np.zeros(0)
+        return SubstrateDemodResult(
+            bits=bits,
+            soft=soft,
+            starts=np.asarray(self.starts, dtype=np.int64),
+            window_bits=self.window_bits,
+            window_erased=self.window_erased,
+            window_soft=self.window_soft,
+        )
+
+
+# -- the protocol -------------------------------------------------------------
+
+
+class Substrate:
+    """One pluggable tag-modulation / receiver mode.
+
+    Subclasses set the class attributes and implement
+    :meth:`build_schedule` and :meth:`demodulate`; everything else has a
+    sensible default.  Instances are cheap, stateless views bound to one
+    :class:`~repro.core.system.LScatterSystem`.
+    """
+
+    #: Registry name (``repro --substrate <name>``).
+    name = ""
+    #: Ambient-capture family; modes sharing a kind share cache entries.
+    ambient_kind = "lte-downlink"
+    #: Whether the UE-decode reference reconstruction path applies.
+    supports_decoded_reference = True
+    #: Whether the analog PSS envelope sync circuit applies.
+    supports_circuit_sync = True
+    #: Whether the chunked streaming receiver applies.
+    supports_streaming = False
+    #: Whether the batched cross-tag demod applies.
+    supports_batch = False
+
+    def __init__(self, system):
+        self.system = system
+        self.config = system.config
+        self.params = system.params
+
+    def prepare_ambient(self, rng=None):
+        """Produce the ambient stage this mode rides (default: downlink)."""
+        return self.system.transmit_downlink_ambient(rng=rng)
+
+    def build_schedule(
+        self,
+        timing,
+        n_samples,
+        payload_bits,
+        owned_half_frames=None,
+        drift_per_half_frame=0.0,
+    ):
+        raise NotImplementedError
+
+    def silent_schedule(self, n_samples):
+        """The schedule of a tag that never acquired sync: constant '1'."""
+        return ChipSchedule(chips=np.ones(int(n_samples), dtype=np.int8))
+
+    def demodulate(self, front):
+        raise NotImplementedError
+
+    def measure(self, schedule, demod, tolerance):
+        """Schedule-vs-demod accounting; default is raw chip counting."""
+        return measure_link(schedule, demod, tolerance)

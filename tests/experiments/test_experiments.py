@@ -11,7 +11,7 @@ def test_registry_covers_every_table_and_figure():
         "table1", "fig04", "fig08", "fig12", "fig16", "fig17", "fig18",
         "fig19", "fig21", "fig22", "fig23", "fig24", "fig26", "fig27",
         "fig28", "fig29", "fig30", "fig31", "fig32", "fig33", "power",
-        "fleetn", "netgrid", "stressgrid",
+        "fleetn", "netgrid", "stressgrid", "subgrid",
     }
     assert set(REGISTRY) == expected
 

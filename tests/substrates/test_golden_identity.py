@@ -1,0 +1,117 @@
+"""Default-mode bit-identity: the substrate refactor must cost zero bits.
+
+These goldens were recorded on the pre-substrate pipeline; any drift in
+the default (chip) path — an extra RNG draw, a reordered stage, a
+changed window layout — shows up here as a hard failure.  The explicit
+``substrate="chip"`` spelling must match the implicit default exactly,
+and a :class:`~repro.fleet.runner.FleetRunner` with no substrate
+argument must reproduce the recorded per-tag numbers.
+"""
+
+import pytest
+
+from repro.core import LScatterSystem, SystemConfig
+from repro.fleet import Deployment, FleetRunner
+
+#: (n_bits, n_errors, n_windows, n_lost, n_erased, sync_error_us).
+GOLDEN_DECODED_SEED7 = (16704, 3, 232, 0, 0, 0.0)
+GOLDEN_GENIE_SEED3 = (12528, 5, 174, 0, 0, 1.5625)
+#: Per-tag rows of the golden fleet run (name, bits, errors, windows,
+#: lost, erased, sync_error_us).
+GOLDEN_FLEET = (
+    ("tag00", 4176, 2, 58, 0, 0, 2.6041666666666665),
+    ("tag01", 4176, 0, 58, 0, 0, 1.0416666666666667),
+    ("tag02", 4176, 0, 58, 0, 0, -1.0416666666666667),
+)
+
+
+def _fields(report):
+    return (
+        report.n_bits,
+        report.n_errors,
+        report.n_windows,
+        report.n_lost_windows,
+        report.n_erased_windows,
+        report.sync_error_us,
+    )
+
+
+def _decoded_config(**overrides):
+    kwargs = dict(
+        bandwidth_mhz=1.4,
+        n_frames=2,
+        reference_mode="decoded",
+        multipath=False,
+        add_noise=False,
+        sync_error_samples=0,
+    )
+    kwargs.update(overrides)
+    return SystemConfig(**kwargs)
+
+
+def _genie_config(**overrides):
+    kwargs = dict(
+        bandwidth_mhz=1.4,
+        n_frames=2,
+        reference_mode="genie",
+        sync_mode="model",
+        multipath=False,
+    )
+    kwargs.update(overrides)
+    return SystemConfig(**kwargs)
+
+
+def test_decoded_reference_golden_unchanged():
+    report = LScatterSystem(_decoded_config(), rng=7).run(payload_length=2000)
+    assert _fields(report) == GOLDEN_DECODED_SEED7
+
+
+def test_genie_reference_golden_unchanged():
+    report = LScatterSystem(_genie_config(), rng=3).run(payload_length=2000)
+    assert _fields(report) == GOLDEN_GENIE_SEED3
+
+
+@pytest.mark.parametrize("make_config", [_decoded_config, _genie_config])
+def test_explicit_chip_is_bit_identical_to_default(make_config):
+    seed = 7 if make_config is _decoded_config else 3
+    default = LScatterSystem(make_config(), rng=seed).run(payload_length=2000)
+    explicit = LScatterSystem(make_config(substrate="chip"), rng=seed).run(
+        payload_length=2000
+    )
+    assert _fields(explicit) == _fields(default)
+    assert explicit.throughput_bps == default.throughput_bps
+
+
+def test_fleet_golden_unchanged_without_substrate_argument():
+    deployment = Deployment.ring(3, bandwidth_mhz=1.4, n_frames=2)
+    with FleetRunner(deployment, scheme="tdma", seed=0) as runner:
+        report = runner.run(payload_length=2000)
+    rows = tuple(
+        (
+            tag.name,
+            tag.n_bits,
+            tag.n_errors,
+            tag.n_windows,
+            tag.n_lost_windows,
+            tag.n_erased_windows,
+            tag.sync_error_us,
+        )
+        for tag in report.tags
+    )
+    assert rows == GOLDEN_FLEET
+
+
+def test_fleet_explicit_chip_matches_default():
+    deployment = Deployment.ring(3, bandwidth_mhz=1.4, n_frames=2)
+    with FleetRunner(
+        deployment, scheme="tdma", seed=0, substrate="chip"
+    ) as runner:
+        explicit = runner.run(payload_length=2000)
+    rows = tuple(
+        (tag.name, tag.n_bits, tag.n_errors, tag.sync_error_us)
+        for tag in explicit.tags
+    )
+    assert rows == tuple(
+        (name, bits, errors, sync)
+        for name, bits, errors, _w, _l, _e, sync in GOLDEN_FLEET
+    )

@@ -1,0 +1,98 @@
+"""subgrid experiment: campaign protocol, sharded equality, monotone gates."""
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.experiments import subgrid
+from repro.experiments.registry import run_experiment
+
+
+def test_campaign_points_cover_every_mode_and_both_arms():
+    points = subgrid.campaign_points()
+    modes = {p["substrate"] for p in points}
+    arms = {p["arm"] for p in points}
+    assert modes == set(subgrid.SUBSTRATES)
+    assert arms == {"distance", "occupancy"}
+    # 5 substrates x (3 distance + 3 occupancy) points.
+    assert len(points) == 30
+    # Smoke is a strict subset: arm endpoints only.
+    smoke = subgrid.campaign_points(smoke=True)
+    assert len(smoke) == 20
+    assert {p["substrate"] for p in smoke} == set(subgrid.SUBSTRATES)
+
+
+def test_substrate_filter_narrows_the_grid():
+    points = subgrid.campaign_points(substrate="srs-uplink")
+    assert {p["substrate"] for p in points} == {"srs-uplink"}
+    assert len(points) == 6
+
+
+def test_sharded_subgrid_is_bit_identical_to_monolithic(tmp_path):
+    """Acceptance: `repro campaign subgrid --shards 4` == unsharded run."""
+    spec = CampaignSpec(experiment="subgrid", seed=0, smoke=True)
+    report = CampaignRunner(spec, tmp_path, n_shards=4).run()
+    mono = run_experiment("subgrid", seed=0, smoke=True)
+    assert report.result is not None
+    assert report.result.rows == mono.rows  # exact float equality
+    assert report.result.name == mono.name
+    assert report.checkpointed == report.total_shards
+
+
+def _row(mode, arm, value, goodput, ber):
+    row = {
+        "substrate": mode,
+        "arm": arm,
+        "goodput_kbps": goodput,
+        "ber": ber,
+        "n_bits": 1000,
+        "n_erased": 0,
+    }
+    if arm == "distance":
+        row["distance_ft"] = value
+    else:
+        row["occupancy"] = value
+    return row
+
+
+def test_monotone_gate_trips_on_rising_goodput():
+    rows = [
+        _row("chip", "distance", 3.0, 100.0, 0.01),
+        _row("chip", "distance", 25.0, 150.0, 0.01),
+    ]
+    with pytest.raises(subgrid.MonotoneGateError, match="goodput rose"):
+        subgrid.aggregate(rows)
+
+
+def test_monotone_gate_trips_on_falling_ber():
+    rows = [
+        _row("crs-ook", "occupancy", 1.0, 4.0, 0.2),
+        _row("crs-ook", "occupancy", 0.3, 4.0, 0.001),
+    ]
+    with pytest.raises(subgrid.MonotoneGateError, match="BER fell"):
+        subgrid.aggregate(rows)
+
+
+def test_gate_orders_occupancy_descending():
+    # Occupancy 1.0 is the clean end: goodput falling toward 0.3 passes.
+    rows = [
+        _row("srs-uplink", "occupancy", 0.3, 0.5, 0.3),
+        _row("srs-uplink", "occupancy", 1.0, 0.8, 0.0),
+    ]
+    result = subgrid.aggregate(rows)
+    assert [r["occupancy"] for r in result.rows] == [1.0, 0.3]
+
+
+def test_gate_tolerates_float_noise():
+    rows = [
+        _row("chip", "distance", 3.0, 100.0, 0.01),
+        _row("chip", "distance", 25.0, 100.0 + 1e-8, 0.01 - 1e-12),
+    ]
+    result = subgrid.aggregate(rows)
+    assert len(result.rows) == 2
+
+
+def test_run_point_is_pure():
+    point = {"substrate": "crs-fsk", "arm": "distance", "distance_ft": 3.0}
+    first = subgrid.run_point(point, seed=0)
+    second = subgrid.run_point(point, seed=0)
+    assert first == second

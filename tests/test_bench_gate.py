@@ -10,6 +10,7 @@ BASE = {
     "network": {"cache_hit_ratio": 0.5},
     "bsrx_batch": {"speedup": 3.0},
     "streaming": {"memory_ratio": 4.0},
+    "substrate": {"overhead_fraction": 0.001},
 }
 
 
@@ -122,6 +123,32 @@ def test_format_check_flags_regressions():
     assert "cfo.speedup" in text
     assert "REGRESSED" in text
     assert "bench gate: FAILED (cfo.speedup)" in text
+
+
+def test_substrate_dispatch_overhead_gated():
+    # Registry dispatch growing from 0.1% to 5% of the direct demod time
+    # means the substrate layer picked up real per-call work.
+    report = compare_to_baseline(
+        _with("substrate.overhead_fraction", 0.05), BASE, tolerance=0.25
+    )
+    assert report["regressions"] == ["substrate.overhead_fraction"]
+    assert compare_to_baseline(
+        _with("substrate.overhead_fraction", 0.004), BASE, tolerance=0.25
+    )["passed"]
+
+
+def test_format_check_names_the_baseline_file():
+    # A failing CI log must say WHICH committed baseline the run
+    # regressed against, not just which metric.
+    report = compare_to_baseline(
+        _with("cfo.speedup", 0.1), BASE, tolerance=0.25
+    )
+    text = format_check(report, baseline_path="BENCH_PR7.json")
+    assert "bench gate vs BENCH_PR7.json" in text
+    assert "bench gate: FAILED vs BENCH_PR7.json (cfo.speedup)" in text
+    # Without a path the wording stays as before.
+    bare = format_check(report)
+    assert "bench gate: FAILED (cfo.speedup)" in bare
 
 
 def test_zero_tolerance_requires_no_worse():
